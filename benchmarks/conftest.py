@@ -1,0 +1,22 @@
+"""Shared bench configuration.
+
+Profiles: set ``REPRO_PROFILE=quick|full|paper`` (default quick).  Every
+bench prints the paper-style row(s) it regenerates; run with ``-s`` to
+see them inline, and see EXPERIMENTS.md for the recorded comparison
+against the paper's numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.reports.profiles import active_profile
+
+
+@pytest.fixture(scope="session")
+def profile():
+    prof = active_profile()
+    print(f"\n[repro] experiment profile: {prof.name} "
+          f"(scale=1/{prof.scale}, key_bits={prof.key_bits}, "
+          f"seeds={prof.n_seeds})")
+    return prof

@@ -1,0 +1,62 @@
+"""DynUnlock reproduction: unlocking dynamically obfuscated scan chains.
+
+Reference: N. Limaye and O. Sinanoglu, "DynUnlock: Unlocking Scan Chains
+Obfuscated using Dynamic Keys", DATE 2020.
+
+Quickstart::
+
+    import random
+    from repro import (
+        s27_netlist, lock_with_effdyn, DynUnlock, DynUnlockConfig
+    )
+
+    netlist = s27_netlist()
+    lock = lock_with_effdyn(netlist, key_bits=2, rng=random.Random(7))
+    result = DynUnlock(netlist, lock.public_view(), lock.make_oracle()).run()
+    assert result.success
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured record of every table and figure.
+"""
+
+from repro.bench_suite import (
+    build_benchmark_netlist,
+    get_benchmark,
+    s27_netlist,
+    s208_like_netlist,
+)
+from repro.core import (
+    DynUnlock,
+    DynUnlockConfig,
+    DynUnlockResult,
+    build_combinational_model,
+)
+from repro.locking import (
+    lock_with_dfs,
+    lock_with_dos,
+    lock_with_eff,
+    lock_with_effdyn,
+)
+from repro.netlist import Netlist, load_bench_file, parse_bench, write_bench
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "build_benchmark_netlist",
+    "get_benchmark",
+    "s27_netlist",
+    "s208_like_netlist",
+    "DynUnlock",
+    "DynUnlockConfig",
+    "DynUnlockResult",
+    "build_combinational_model",
+    "lock_with_dfs",
+    "lock_with_dos",
+    "lock_with_eff",
+    "lock_with_effdyn",
+    "Netlist",
+    "load_bench_file",
+    "parse_bench",
+    "write_bench",
+    "__version__",
+]

@@ -1,0 +1,46 @@
+"""The single stuck-at fault model.
+
+A fault pins one net to a constant; the classic industrial abstraction
+for manufacturing defects and the one scan testing is built around.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.netlist.netlist import Netlist
+
+
+@dataclass(frozen=True)
+class StuckAtFault:
+    """Net ``net`` permanently reads as ``stuck_value``."""
+
+    net: str
+    stuck_value: int
+
+    def __post_init__(self) -> None:
+        if self.stuck_value not in (0, 1):
+            raise ValueError("stuck value must be 0 or 1")
+
+    def __str__(self) -> str:
+        return f"{self.net}/SA{self.stuck_value}"
+
+
+def enumerate_faults(
+    netlist: Netlist, include_inputs: bool = True
+) -> Iterator[StuckAtFault]:
+    """Yield the full single-stuck-at fault list (both polarities).
+
+    Fault sites are primary inputs (optional), gate outputs and flop Q
+    nets -- i.e. every driven net.  Fanout-branch faults are not modelled
+    separately (fanout-free equivalence collapsing is out of scope).
+    """
+    sites: list[str] = []
+    if include_inputs:
+        sites.extend(netlist.inputs)
+    sites.extend(netlist.dffs)
+    sites.extend(netlist.gates)
+    for net in sites:
+        yield StuckAtFault(net, 0)
+        yield StuckAtFault(net, 1)

@@ -1,0 +1,34 @@
+"""Attack framework.
+
+* :mod:`repro.attack.satattack` — the oracle-guided SAT attack
+  (Subramanyan et al., HOST 2015) on locked *combinational* netlists; the
+  engine every scan attack in this repo reduces to.
+* :mod:`repro.attack.scansat` — ScanSAT (static scan obfuscation).
+* :mod:`repro.attack.scansat_dyn` — the DOS adjustment (per-pattern keys).
+* :mod:`repro.attack.shift_and_leak` — simplified shift-and-leak vs DFS.
+* :mod:`repro.attack.bruteforce` — candidate refinement by oracle replay.
+
+DynUnlock itself lives in :mod:`repro.core` (it is the paper's
+contribution); it composes the modeling step with this SAT attack engine.
+"""
+
+from repro.attack.satattack import SatAttack, SatAttackConfig, SatAttackResult
+from repro.attack.scansat import scansat_attack, ScanSatResult
+from repro.attack.scansat_dyn import scansat_dyn_attack
+from repro.attack.shift_and_leak import shift_and_leak_attack
+from repro.attack.bruteforce import refine_candidates_by_replay
+from repro.attack.appsat import AppSat, AppSatConfig, AppSatResult
+
+__all__ = [
+    "SatAttack",
+    "SatAttackConfig",
+    "SatAttackResult",
+    "scansat_attack",
+    "ScanSatResult",
+    "scansat_dyn_attack",
+    "shift_and_leak_attack",
+    "refine_candidates_by_replay",
+    "AppSat",
+    "AppSatConfig",
+    "AppSatResult",
+]

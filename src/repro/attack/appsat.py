@@ -1,0 +1,158 @@
+"""AppSAT: the approximate SAT attack (Shamsi et al., HOST 2017).
+
+Referenced in the paper's introduction as one of the oracle-guided
+attacks that scan obfuscation shuts out.  AppSAT interleaves the exact
+DIP loop with rounds of random queries: whenever the current best key
+explains a long streak of random input/output samples, the attack stops
+early with an *approximately* correct key.  Against compound locks
+(point functions + conventional locking) this recovers the conventional
+part quickly; against plain RLL it behaves like the SAT attack with an
+early-exit heuristic.
+
+Implemented on the same engine as everything else: the incremental miter
+of :class:`repro.attack.satattack.SatAttack` plus random-sample
+reinforcement clauses.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.attack.satattack import OracleFn, SatAttack, SatAttackConfig
+from repro.netlist.netlist import Netlist
+from repro.sim.logicsim import CombinationalSimulator
+from repro.util.bitvec import random_bits
+from repro.util.timing import Stopwatch
+
+
+@dataclass
+class AppSatConfig:
+    """AppSAT knobs (defaults follow the published heuristic's spirit)."""
+
+    sample_interval: int = 2  # run a sampling round every N DIPs
+    samples_per_round: int = 16
+    error_threshold: float = 0.0  # stop when observed error <= threshold
+    settle_rounds: int = 2  # consecutive clean rounds required
+    max_iterations: int = 10_000
+    timeout_s: float | None = None
+    rng_seed: int = 0xA995
+
+
+@dataclass
+class AppSatResult:
+    """Outcome of an AppSAT run (key, exit reason, error estimate)."""
+    key: list[int] | None
+    exact_convergence: bool  # True when the full SAT attack converged
+    early_exit: bool  # True when the error estimate triggered the stop
+    iterations: int
+    sampled_queries: int
+    estimated_error: float
+    runtime_s: float
+
+
+class AppSat:
+    """Approximate attack driver over the incremental SAT-attack miter."""
+
+    def __init__(
+        self,
+        locked: Netlist,
+        key_inputs: Sequence[str],
+        oracle_fn: OracleFn,
+        config: AppSatConfig | None = None,
+    ):
+        self.config = config or AppSatConfig()
+        self._attack = SatAttack(
+            locked,
+            key_inputs,
+            oracle_fn,
+            SatAttackConfig(max_iterations=1),  # we drive the loop ourselves
+        )
+        self.locked = locked
+        self.key_inputs = list(key_inputs)
+        self.oracle_fn = oracle_fn
+        self._sim = CombinationalSimulator(locked)
+        self._rng = random.Random(self.config.rng_seed)
+
+    def _current_key(self) -> list[int] | None:
+        result = self._attack._solver.solve(
+            assumptions=[-self._attack._act_var]
+        )
+        if result.satisfiable is not True:
+            return None
+        assert result.model is not None
+        return [result.model[v] for v in self._attack._key_vars_a]
+
+    def _key_output(self, key: list[int], x_bits: list[int]) -> list[int]:
+        inputs = dict(zip(self._attack.x_inputs, x_bits))
+        inputs.update(zip(self.key_inputs, key))
+        values = self._sim.run(inputs)
+        return [values[net] for net in self.locked.outputs]
+
+    def _sampling_round(self, key: list[int]) -> tuple[int, int]:
+        """Random queries; mismatches become reinforcement constraints.
+
+        Returns (errors, samples).
+        """
+        errors = 0
+        for _ in range(self.config.samples_per_round):
+            x_bits = random_bits(len(self._attack.x_inputs), self._rng)
+            expected = self.oracle_fn(x_bits)
+            if self._key_output(key, x_bits) != expected:
+                errors += 1
+                self._attack._add_dip_constraint(x_bits, list(expected))
+        return errors, self.config.samples_per_round
+
+    def run(self) -> AppSatResult:
+        cfg = self.config
+        watch = Stopwatch().start()
+        iterations = 0
+        sampled = 0
+        clean_rounds = 0
+        last_error = 1.0
+        early = False
+        exact = False
+
+        while iterations < cfg.max_iterations:
+            result = self._attack._solver.solve(
+                assumptions=[self._attack._act_var],
+                timeout_s=cfg.timeout_s,
+            )
+            if result.satisfiable is None:
+                break
+            if result.satisfiable is False:
+                exact = True
+                break
+            iterations += 1
+            assert result.model is not None
+            dip = [result.model[v] for v in self._attack._x_vars]
+            response = self.oracle_fn(dip)
+            self._attack._add_dip_constraint(dip, list(response))
+
+            if iterations % cfg.sample_interval == 0:
+                key = self._current_key()
+                if key is None:
+                    break
+                errors, samples = self._sampling_round(key)
+                sampled += samples
+                last_error = errors / samples
+                if last_error <= cfg.error_threshold:
+                    clean_rounds += 1
+                    if clean_rounds >= cfg.settle_rounds:
+                        early = True
+                        break
+                else:
+                    clean_rounds = 0
+
+        key = self._current_key()
+        watch.stop()
+        return AppSatResult(
+            key=key,
+            exact_convergence=exact,
+            early_exit=early,
+            iterations=iterations,
+            sampled_queries=sampled,
+            estimated_error=0.0 if exact else last_error,
+            runtime_s=watch.total,
+        )

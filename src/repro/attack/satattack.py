@@ -1,0 +1,260 @@
+"""The oracle-guided SAT attack on locked combinational circuits.
+
+Given a locked netlist ``C(X, K)`` with designated key inputs ``K`` and an
+input/output oracle for the original function ``f(X)``, the attack
+iterates:
+
+1. build a *miter*: two copies of ``C`` sharing ``X`` but holding
+   independent keys ``K_A``, ``K_B``, constrained so that at least one
+   output differs — a satisfying assignment yields a *distinguishing
+   input pattern* (DIP);
+2. query the oracle with the DIP and constrain both key copies to
+   reproduce the observed response (two fresh circuit copies per DIP);
+3. repeat until the miter is unsatisfiable: every key still satisfying
+   the accumulated constraints is functionally correct on all inputs
+   distinguished so far, and no further DIP exists.
+
+The miter clause carries an activation literal so the same incremental
+solver can afterwards enumerate the surviving key assignments (the
+paper's "seed candidates" when driven by DynUnlock).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.netlist.netlist import Netlist
+from repro.sat.enumerate import enumerate_models
+from repro.sat.solver import CdclSolver
+from repro.sat.tseitin import CircuitEncoder
+from repro.util.timing import Stopwatch
+
+OracleFn = Callable[[list[int]], list[int]]
+
+
+@dataclass
+class SatAttackConfig:
+    """Attack knobs."""
+
+    max_iterations: int = 10_000
+    candidate_limit: int = 1024  # stop enumerating key candidates here
+    timeout_s: float | None = None  # wall-clock budget for the whole attack
+    iteration_hook: Callable[["IterationRecord"], None] | None = None
+
+
+@dataclass
+class IterationRecord:
+    """Per-DIP trace entry (the paper dumps the CNF at this point)."""
+
+    iteration: int
+    dip: list[int]
+    response: list[int]
+    n_clauses: int
+    n_vars: int
+    elapsed_s: float
+
+
+@dataclass
+class SatAttackResult:
+    """Outcome of the DIP loop: convergence, DIP trace, key candidates."""
+    converged: bool
+    iterations: int
+    dips: list[tuple[list[int], list[int]]]
+    key_candidates: list[list[int]]
+    candidates_exhausted: bool  # True when enumeration hit candidate_limit
+    fixed_key_bits: dict[int, int]
+    runtime_s: float
+    stopwatch: Stopwatch = field(repr=False, default_factory=Stopwatch)
+
+    @property
+    def n_candidates(self) -> int:
+        return len(self.key_candidates)
+
+    def unique_key(self) -> list[int] | None:
+        if self.converged and len(self.key_candidates) == 1:
+            return self.key_candidates[0]
+        return None
+
+
+class SatAttack:
+    """One attack instance bound to a locked netlist and an oracle.
+
+    ``key_inputs`` must be a subset of the netlist's primary inputs; the
+    remaining inputs form ``X`` in their original order, which is also the
+    order ``oracle_fn`` receives bits in.  ``oracle_fn`` returns output
+    bits in the netlist's output order.
+    """
+
+    def __init__(
+        self,
+        locked: Netlist,
+        key_inputs: Sequence[str],
+        oracle_fn: OracleFn,
+        config: SatAttackConfig | None = None,
+        fixed_key_bits: dict[int, int] | None = None,
+    ):
+        self.locked = locked
+        self.key_inputs = list(key_inputs)
+        key_set = set(self.key_inputs)
+        missing = key_set - set(locked.inputs)
+        if missing:
+            raise ValueError(f"key inputs not in netlist: {sorted(missing)}")
+        self.x_inputs = [net for net in locked.inputs if net not in key_set]
+        self.oracle_fn = oracle_fn
+        self.config = config or SatAttackConfig()
+
+        self._encoder = CircuitEncoder()
+        self._solver = CdclSolver()
+        self._copy_count = 0
+        self._build_miter()
+        # Seed information carried over from earlier attack rounds (the
+        # paper's restart step) enters as unit clauses on both key copies.
+        if fixed_key_bits:
+            for index, value in sorted(fixed_key_bits.items()):
+                for var in (self._key_vars_a[index], self._key_vars_b[index]):
+                    self._solver.add_clause([var if value else -var])
+
+    # ------------------------------------------------------------------
+    def _encode_copy(self, prefix: str, share_keys_with: str | None) -> dict[str, int]:
+        """Encode one circuit copy; key vars shared with a previous copy."""
+        if share_keys_with is not None:
+            for net in self.key_inputs:
+                shared_var = self._encoder.var_for(f"{share_keys_with}{net}")
+                self._encoder.alias(f"{prefix}{net}", shared_var)
+        return self._encoder.encode_netlist(self.locked, prefix=prefix)
+
+    def _build_miter(self) -> None:
+        # Shared X variables across the two miter copies.
+        for net in self.x_inputs:
+            var = self._encoder.var_for(f"X::{net}")
+            self._encoder.alias(f"A::{net}", var)
+            self._encoder.alias(f"B::{net}", var)
+        map_a = self._encode_copy("A::", share_keys_with=None)
+        map_b = self._encode_copy("B::", share_keys_with=None)
+
+        cnf = self._encoder.cnf
+        self._act_var = cnf.new_var()
+        diff_lits: list[int] = []
+        for net in self.locked.outputs:
+            ya, yb = map_a[net], map_b[net]
+            d = cnf.new_var()
+            # d <-> ya xor yb
+            cnf.add_clause([-d, ya, yb])
+            cnf.add_clause([-d, -ya, -yb])
+            cnf.add_clause([d, ya, -yb])
+            cnf.add_clause([d, -ya, yb])
+            diff_lits.append(d)
+        cnf.add_clause([-self._act_var] + diff_lits)
+
+        self._x_vars = [self._encoder.var_for(f"X::{net}") for net in self.x_inputs]
+        self._key_vars_a = [
+            self._encoder.var_for(f"A::{net}") for net in self.key_inputs
+        ]
+        self._key_vars_b = [
+            self._encoder.var_for(f"B::{net}") for net in self.key_inputs
+        ]
+        self._solver.add_cnf(cnf)
+        self._synced_clauses = cnf.n_clauses
+
+    def _sync_solver(self) -> None:
+        """Push clauses added to the CNF since the last sync."""
+        cnf = self._encoder.cnf
+        while self._solver.n_vars < cnf.n_vars:
+            self._solver.new_var()
+        for clause in cnf.clauses[self._synced_clauses :]:
+            self._solver.add_clause(clause)
+        self._synced_clauses = cnf.n_clauses
+
+    def _add_dip_constraint(self, dip: list[int], response: list[int]) -> None:
+        """Both key copies must reproduce the oracle response on this DIP."""
+        cnf = self._encoder.cnf
+        for side in ("A", "B"):
+            self._copy_count += 1
+            prefix = f"{side}{self._copy_count}::"
+            mapping = self._encode_copy(prefix, share_keys_with=f"{side}::")
+            for net, bit in zip(self.x_inputs, dip):
+                var = mapping[net]
+                cnf.add_clause([var if bit else -var])
+            for net, bit in zip(self.locked.outputs, response):
+                var = mapping[net]
+                cnf.add_clause([var if bit else -var])
+        self._sync_solver()
+
+    # ------------------------------------------------------------------
+    def run(self) -> SatAttackResult:
+        cfg = self.config
+        watch = Stopwatch().start()
+        deadline = (
+            time.perf_counter() + cfg.timeout_s if cfg.timeout_s is not None else None
+        )
+        started = time.perf_counter()
+        dips: list[tuple[list[int], list[int]]] = []
+        converged = False
+
+        iteration = 0
+        while iteration < cfg.max_iterations:
+            remaining = None if deadline is None else max(0.0, deadline - time.perf_counter())
+            with watch.lap("solve_dip"):
+                result = self._solver.solve(
+                    assumptions=[self._act_var], timeout_s=remaining
+                )
+            if result.satisfiable is None:
+                break  # budget exhausted
+            if result.satisfiable is False:
+                converged = True
+                break
+            iteration += 1
+            assert result.model is not None
+            dip = [result.model[v] for v in self._x_vars]
+            with watch.lap("oracle"):
+                response = self.oracle_fn(dip)
+            if len(response) != len(self.locked.outputs):
+                raise ValueError("oracle returned wrong number of output bits")
+            dips.append((dip, list(response)))
+            with watch.lap("constrain"):
+                self._add_dip_constraint(dip, list(response))
+            if cfg.iteration_hook is not None:
+                cfg.iteration_hook(
+                    IterationRecord(
+                        iteration=iteration,
+                        dip=dip,
+                        response=list(response),
+                        n_clauses=self._encoder.cnf.n_clauses,
+                        n_vars=self._encoder.cnf.n_vars,
+                        elapsed_s=time.perf_counter() - started,
+                    )
+                )
+
+        key_candidates: list[list[int]] = []
+        exhausted = False
+        if converged:
+            with watch.lap("enumerate"):
+                for model_bits in enumerate_models(
+                    self._solver,
+                    self._key_vars_a,
+                    limit=cfg.candidate_limit,
+                    assumptions=[-self._act_var],
+                ):
+                    key_candidates.append(model_bits)
+            exhausted = len(key_candidates) >= cfg.candidate_limit
+
+        fixed: dict[int, int] = {}
+        if key_candidates and not exhausted:
+            for index in range(len(self.key_inputs)):
+                column = {cand[index] for cand in key_candidates}
+                if len(column) == 1:
+                    fixed[index] = key_candidates[0][index]
+
+        watch.stop()
+        return SatAttackResult(
+            converged=converged,
+            iterations=iteration,
+            dips=dips,
+            key_candidates=key_candidates,
+            candidates_exhausted=exhausted,
+            fixed_key_bits=fixed,
+            runtime_s=watch.total,
+            stopwatch=watch,
+        )

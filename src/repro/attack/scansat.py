@@ -1,0 +1,105 @@
+"""ScanSAT: the SAT attack on *statically* obfuscated scan chains.
+
+Alrahis et al. (ASP-DAC 2019) broke static EFF by modeling the scan
+scramble as XOR overlays controlled directly by the (static) key and
+running the SAT attack -- Table I's first row.  DynUnlock generalises
+this to per-cycle dynamic keys; here the same project machinery is run in
+``static`` mode, so the attack shares every line of modeling and SAT code
+with DynUnlock and differs only in what the key inputs mean.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.attack.bruteforce import refine_candidates_by_replay
+from repro.attack.satattack import SatAttack, SatAttackConfig
+from repro.core.modeling import build_combinational_model
+from repro.locking.eff import EffStaticLock, EffStaticPublicView
+from repro.netlist.netlist import Netlist
+from repro.scan.oracle import ScanOracle
+from repro.util.timing import Stopwatch
+
+
+@dataclass
+class ScanSatResult:
+    """Outcome of a ScanSAT run against static EFF."""
+    success: bool
+    recovered_key: list[int] | None
+    key_candidates: list[list[int]]
+    iterations: int
+    runtime_s: float
+
+
+def scansat_attack(
+    netlist: Netlist,
+    public_view: EffStaticPublicView,
+    oracle: ScanOracle,
+    candidate_limit: int = 256,
+    verify_patterns: int = 16,
+    timeout_s: float | None = None,
+    rng_seed: int = 0x5CA9,
+) -> ScanSatResult:
+    """Recover a static EFF scan-locking key through the oracle."""
+    watch = Stopwatch().start()
+    model = build_combinational_model(
+        netlist,
+        spec=public_view.spec,
+        taps=None,
+        key_bits=public_view.spec.n_keygates,
+        mode="static",
+    )
+    n_a = len(model.a_inputs)
+
+    def oracle_fn(x_bits: list[int]) -> list[int]:
+        response = oracle.query(x_bits[:n_a], x_bits[n_a:])
+        observed = list(response.scan_out)
+        if model.po_outputs:
+            observed += list(response.primary_outputs)
+        return observed
+
+    attack = SatAttack(
+        locked=model.netlist,
+        key_inputs=model.key_inputs,
+        oracle_fn=oracle_fn,
+        config=SatAttackConfig(
+            candidate_limit=candidate_limit, timeout_s=timeout_s
+        ),
+    )
+    result = attack.run()
+
+    recovered: list[int] | None = None
+    if result.key_candidates:
+        rng = random.Random(rng_seed)
+
+        def replay(scan_in: list[int], pi: list[int]) -> list[int]:
+            response = oracle.query(scan_in, pi)
+            observed = list(response.scan_out)
+            if model.po_outputs:
+                observed += list(response.primary_outputs)
+            return observed
+
+        refinement = refine_candidates_by_replay(
+            model, result.key_candidates, replay, rng, n_patterns=verify_patterns
+        )
+        if refinement.survivors:
+            recovered = refinement.survivors[0]
+
+    watch.stop()
+    return ScanSatResult(
+        success=recovered is not None,
+        recovered_key=recovered,
+        key_candidates=result.key_candidates,
+        iterations=result.iterations,
+        runtime_s=watch.total,
+    )
+
+
+def scansat_attack_on_lock(
+    lock: EffStaticLock, **kwargs
+) -> ScanSatResult:
+    """Convenience wrapper used by benches and examples."""
+    return scansat_attack(
+        lock.netlist, lock.public_view(), lock.make_oracle(), **kwargs
+    )

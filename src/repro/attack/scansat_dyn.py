@@ -1,0 +1,106 @@
+"""The DOS adjustment: DynUnlock against per-pattern dynamic keys.
+
+DOS updates its LFSR key every ``p`` patterns rather than every cycle.
+The paper notes DynUnlock "can be adjusted to break other less rigorous
+scan locking techniques"; the adjustment is embarrassingly small given
+the power-on-reset threat model: restarting the chip before each query
+freezes the key at the first LFSR update, ``T @ seed``.  The attack then
+runs the ``dos_restart`` model -- a *static* overlay whose key bits are
+the one-step-unrolled LFSR outputs -- and recovers the seed directly
+(the LFSR equations are part of the model, so candidates are seeds, not
+intermediate keys).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.attack.bruteforce import refine_candidates_by_replay
+from repro.attack.satattack import SatAttack, SatAttackConfig
+from repro.core.modeling import build_combinational_model
+from repro.locking.dos import DosLock, DosPublicView
+from repro.netlist.netlist import Netlist
+from repro.scan.oracle import ScanOracle
+from repro.util.timing import Stopwatch
+
+
+@dataclass
+class ScanSatDynResult:
+    """Outcome of the DOS-adjusted attack (recovered LFSR seed)."""
+    success: bool
+    recovered_seed: list[int] | None
+    seed_candidates: list[list[int]]
+    iterations: int
+    runtime_s: float
+
+
+def scansat_dyn_attack(
+    netlist: Netlist,
+    public_view: DosPublicView,
+    oracle: ScanOracle,
+    candidate_limit: int = 256,
+    verify_patterns: int = 16,
+    timeout_s: float | None = None,
+    rng_seed: int = 0xD05,
+) -> ScanSatDynResult:
+    """Recover the DOS LFSR seed (works for any update period ``p``)."""
+    watch = Stopwatch().start()
+    model = build_combinational_model(
+        netlist,
+        spec=public_view.spec,
+        taps=public_view.lfsr_taps,
+        key_bits=public_view.lfsr_width,
+        mode="dos_restart",
+    )
+    n_a = len(model.a_inputs)
+
+    def oracle_fn(x_bits: list[int]) -> list[int]:
+        response = oracle.query(x_bits[:n_a], x_bits[n_a:])
+        observed = list(response.scan_out)
+        if model.po_outputs:
+            observed += list(response.primary_outputs)
+        return observed
+
+    attack = SatAttack(
+        locked=model.netlist,
+        key_inputs=model.key_inputs,
+        oracle_fn=oracle_fn,
+        config=SatAttackConfig(
+            candidate_limit=candidate_limit, timeout_s=timeout_s
+        ),
+    )
+    result = attack.run()
+
+    recovered: list[int] | None = None
+    if result.key_candidates:
+        rng = random.Random(rng_seed)
+
+        def replay(scan_in: list[int], pi: list[int]) -> list[int]:
+            response = oracle.query(scan_in, pi)
+            observed = list(response.scan_out)
+            if model.po_outputs:
+                observed += list(response.primary_outputs)
+            return observed
+
+        refinement = refine_candidates_by_replay(
+            model, result.key_candidates, replay, rng, n_patterns=verify_patterns
+        )
+        if refinement.survivors:
+            recovered = refinement.survivors[0]
+
+    watch.stop()
+    return ScanSatDynResult(
+        success=recovered is not None,
+        recovered_seed=recovered,
+        seed_candidates=result.key_candidates,
+        iterations=result.iterations,
+        runtime_s=watch.total,
+    )
+
+
+def scansat_dyn_attack_on_lock(lock: DosLock, **kwargs) -> ScanSatDynResult:
+    """Convenience wrapper used by benches and examples."""
+    return scansat_dyn_attack(
+        lock.netlist, lock.public_view(), lock.make_oracle(), **kwargs
+    )

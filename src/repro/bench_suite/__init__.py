@@ -1,0 +1,40 @@
+"""Benchmark circuits.
+
+The paper evaluates on six ISCAS-89 and four ITC-99 circuits synthesized
+with a commercial tool.  Those netlists are not redistributable and no
+network access exists here, so (substitution documented in DESIGN.md):
+
+* :mod:`repro.bench_suite.iscas` embeds the genuine public-domain ``s27``
+  netlist for small-scale exactness checks and for the paper's running
+  example style demos;
+* :mod:`repro.bench_suite.generator` synthesises random-but-reproducible
+  sequential circuits with prescribed flop/input/output counts;
+* :mod:`repro.bench_suite.registry` names one synthetic circuit per
+  paper benchmark with the *post-synthesis scan-flop count reported in
+  Table II*, plus a ``scale`` knob so the full experiment matrix can run
+  at laptop scale by default and at paper scale on demand.
+"""
+
+from repro.bench_suite.generator import GeneratorConfig, generate_circuit
+from repro.bench_suite.iscas import s27_netlist, s208_like_netlist
+from repro.bench_suite.registry import (
+    BenchmarkSpec,
+    PAPER_BENCHMARKS,
+    TABLE2_BENCHMARKS,
+    TABLE3_BENCHMARKS,
+    get_benchmark,
+    build_benchmark_netlist,
+)
+
+__all__ = [
+    "GeneratorConfig",
+    "generate_circuit",
+    "s27_netlist",
+    "s208_like_netlist",
+    "BenchmarkSpec",
+    "PAPER_BENCHMARKS",
+    "TABLE2_BENCHMARKS",
+    "TABLE3_BENCHMARKS",
+    "get_benchmark",
+    "build_benchmark_netlist",
+]

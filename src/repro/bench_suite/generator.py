@@ -1,0 +1,109 @@
+"""Synthetic sequential circuit generator.
+
+Produces random-but-reproducible netlists with a prescribed number of
+flip-flops, primary inputs/outputs and combinational density.  The
+construction guarantees the structural properties the scan attacks rely
+on (and that real synthesized benchmarks exhibit):
+
+* every flip-flop's next-state function depends on at least one other
+  flop or primary input (non-trivial capture);
+* the combinational part is acyclic by construction (gates only consume
+  earlier nets);
+* gate types are mixed (including inverting and XOR-class gates) so the
+  next-state function is nonlinear in the state -- the property that
+  makes a *SAT* attack necessary rather than plain linear algebra.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.netlist.gates import GateType
+from repro.netlist.netlist import Netlist
+
+_GATE_CHOICES = [
+    GateType.AND,
+    GateType.NAND,
+    GateType.OR,
+    GateType.NOR,
+    GateType.XOR,
+    GateType.XNOR,
+    GateType.NOT,
+]
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Shape of a synthetic circuit."""
+
+    n_flops: int
+    n_inputs: int = 8
+    n_outputs: int = 8
+    gates_per_flop: float = 3.0
+    max_fanin: int = 3
+    locality: int = 24  # how far back gate operands may reach, in nets
+
+    def __post_init__(self) -> None:
+        if self.n_flops < 1:
+            raise ValueError("need at least one flop")
+        if self.n_inputs < 1:
+            raise ValueError("need at least one primary input")
+        if self.n_outputs < 0:
+            raise ValueError("output count cannot be negative")
+        if self.gates_per_flop <= 0:
+            raise ValueError("gates_per_flop must be positive")
+        if self.max_fanin < 2:
+            raise ValueError("max_fanin must be at least 2")
+
+
+def generate_circuit(
+    config: GeneratorConfig, rng: random.Random, name: str = "synthetic"
+) -> Netlist:
+    """Generate one circuit.
+
+    Determinism: identical ``config`` and rng state produce identical
+    netlists, which the registry exploits to give every named benchmark a
+    stable identity across runs.
+    """
+    netlist = Netlist(name=name)
+    inputs = [f"pi{i}" for i in range(config.n_inputs)]
+    for net in inputs:
+        netlist.add_input(net)
+    q_nets = [f"ff{i}" for i in range(config.n_flops)]
+
+    # Pool of nets a new gate may read: PIs, flop outputs, earlier gates.
+    pool: list[str] = inputs + q_nets
+    n_gates = max(config.n_flops, int(config.n_flops * config.gates_per_flop))
+    gate_outputs: list[str] = []
+    for g in range(n_gates):
+        gtype = rng.choice(_GATE_CHOICES)
+        arity = 1 if gtype is GateType.NOT else rng.randint(2, config.max_fanin)
+        window = pool[-config.locality :] if len(pool) > config.locality else pool
+        # Mix local and global picks so cones overlap across the chain.
+        operands: list[str] = []
+        for _ in range(arity):
+            source = window if rng.random() < 0.7 else pool
+            operands.append(rng.choice(source))
+        out = f"g{g}"
+        netlist.add_gate(out, gtype, operands)
+        gate_outputs.append(out)
+        pool.append(out)
+
+    # Next-state functions: mostly gate outputs; guarantee each depends on
+    # something stateful by XOR-mixing a neighbour flop now and then.
+    for i, q in enumerate(q_nets):
+        base = rng.choice(gate_outputs)
+        if rng.random() < 0.5:
+            other = q_nets[(i + 1) % config.n_flops]
+            mixed = f"ns{i}"
+            netlist.add_gate(mixed, GateType.XOR, [base, other])
+            netlist.add_dff(q=q, d=mixed)
+        else:
+            netlist.add_dff(q=q, d=base)
+
+    for i in range(config.n_outputs):
+        po = f"po{i}"
+        netlist.add_gate(po, GateType.BUF, [rng.choice(gate_outputs)])
+        netlist.add_output(po)
+    return netlist

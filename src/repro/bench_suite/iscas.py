@@ -1,0 +1,55 @@
+"""Embedded small benchmark circuits.
+
+``s27`` is the genuine ISCAS-89 netlist (public domain, 4 inputs, 1
+output, 3 flip-flops, 10 gates) -- small enough to verify attack results
+exhaustively.
+
+``s208_like`` stands in for the s208 circuit of the paper's Fig. 1
+walk-through: the original synthesized netlist is not available offline,
+so a deterministic synthetic circuit with the same scan profile (8 scan
+flops) is generated; the figure examples lock it with key gates after the
+1st, 2nd and 5th scan flops, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.bench_suite.generator import GeneratorConfig, generate_circuit
+from repro.netlist.bench_io import parse_bench
+from repro.netlist.netlist import Netlist
+
+S27_BENCH = """
+# s27 (ISCAS-89)
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G13 = NOR(G2, G12)
+G12 = NOR(G1, G7)
+"""
+
+
+def s27_netlist() -> Netlist:
+    """The genuine ISCAS-89 s27 circuit."""
+    return parse_bench(S27_BENCH, name="s27")
+
+
+def s208_like_netlist() -> Netlist:
+    """A deterministic 8-flop stand-in for s208 (see module docstring)."""
+    config = GeneratorConfig(
+        n_flops=8, n_inputs=10, n_outputs=1, gates_per_flop=8.0
+    )
+    return generate_circuit(config, random.Random(0x5208), name="s208_like")

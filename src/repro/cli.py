@@ -1,0 +1,263 @@
+"""Command-line interface.
+
+Subcommands mirror the library's main entry points::
+
+    dynunlock info s5378                  # benchmark stats at a scale
+    dynunlock selftest                    # end-to-end attack on s27
+    dynunlock attack s13207 --key-bits 8  # DynUnlock one circuit
+    dynunlock table1|table2|table3        # regenerate the paper tables
+    dynunlock scaling                     # Section IV scalability study
+    dynunlock ablation                    # Section V nonlinear-PRNG study
+
+All table commands accept ``--profile quick|full|paper`` (or the
+``REPRO_PROFILE`` environment variable).
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+
+from repro.bench_suite.registry import (
+    PAPER_BENCHMARKS,
+    build_benchmark_netlist,
+    get_benchmark,
+)
+from repro.core.dynunlock import DynUnlockConfig, dynunlock
+from repro.locking.effdyn import lock_with_effdyn
+from repro.reports.experiments import (
+    ABLATION_HEADERS,
+    SCALING_HEADERS,
+    TABLE1_HEADERS,
+    TABLE2_HEADERS,
+    TABLE3_HEADERS,
+    run_flop_scaling,
+    run_nonlinear_ablation,
+    run_table1,
+    run_table2,
+    run_table3,
+)
+from repro.reports.profiles import PROFILES, active_profile
+from repro.reports.tables import render_table
+
+
+def _progress(message: str) -> None:
+    print(f"  [.] {message}", file=sys.stderr)
+
+
+def _profile_from_args(args: argparse.Namespace):
+    if getattr(args, "profile", None):
+        return PROFILES[args.profile]
+    return active_profile()
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    """``dynunlock info``: print a benchmark's structural statistics."""
+    spec = get_benchmark(args.benchmark)
+    netlist = build_benchmark_netlist(args.benchmark, scale=args.scale)
+    print(f"benchmark    : {spec.name} ({spec.suite})")
+    print(f"paper flops  : {spec.n_scan_flops}")
+    print(f"scale        : 1/{args.scale}")
+    for key, value in netlist.stats().items():
+        print(f"{key:13}: {value}")
+    return 0
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    """``dynunlock list``: enumerate the registry benchmarks."""
+    for name, spec in PAPER_BENCHMARKS.items():
+        print(f"{name:10} {spec.suite:8} {spec.n_scan_flops:6} scan flops")
+    return 0
+
+
+def cmd_selftest(args: argparse.Namespace) -> int:
+    """``dynunlock selftest``: end-to-end DynUnlock on the genuine s27."""
+    from repro.bench_suite.iscas import s27_netlist
+
+    netlist = s27_netlist()
+    lock = lock_with_effdyn(netlist, key_bits=2, rng=random.Random(7))
+    result = dynunlock(netlist, lock.public_view(), lock.make_oracle())
+    exact = result.recovered_seed == list(lock.seed)
+    print(
+        f"s27 self-test: success={result.success} exact_seed={exact} "
+        f"iterations={result.iterations} time={result.runtime_s:.2f}s"
+    )
+    return 0 if (result.success and exact) else 1
+
+
+def cmd_attack(args: argparse.Namespace) -> int:
+    """``dynunlock attack``: lock one benchmark with EFF-Dyn and break it."""
+    profile = _profile_from_args(args)
+    netlist = build_benchmark_netlist(args.benchmark, scale=args.scale or profile.scale)
+    key_bits = profile.effective_key_bits(netlist.n_dffs, args.key_bits)
+    rng = random.Random(args.lock_seed)
+    lock = lock_with_effdyn(netlist, key_bits=key_bits, rng=rng)
+    print(
+        f"locked {args.benchmark}: {netlist.n_dffs} scan flops, "
+        f"{key_bits}-bit dynamic key",
+        file=sys.stderr,
+    )
+    result = dynunlock(
+        netlist,
+        lock.public_view(),
+        lock.make_oracle(),
+        DynUnlockConfig(timeout_s=args.timeout or profile.timeout_s),
+    )
+    exact = result.recovered_seed == list(lock.seed)
+    print(f"success          : {result.success}")
+    print(f"exact seed       : {exact}")
+    print(f"seed candidates  : {result.n_seed_candidates}")
+    print(f"iterations       : {result.iterations}")
+    print(f"oracle queries   : {result.oracle_queries}")
+    print(f"captures used    : {result.n_captures_used}")
+    print(f"execution time   : {result.runtime_s:.2f}s")
+    return 0 if result.success else 1
+
+
+def cmd_export(args: argparse.Namespace) -> int:
+    """Export a registry benchmark (optionally EFF-Dyn locked) to disk."""
+    from pathlib import Path
+
+    from repro.netlist.bench_io import write_bench
+    from repro.netlist.verilog_io import write_verilog
+    from repro.scan.structural import build_scan_netlist
+
+    netlist = build_benchmark_netlist(args.benchmark, scale=args.scale)
+    if args.lock:
+        rng = random.Random(args.lock_seed)
+        key_bits = min(args.key_bits or 8, netlist.n_dffs - 1)
+        lock = lock_with_effdyn(netlist, key_bits=key_bits, rng=rng)
+        netlist, pins = build_scan_netlist(netlist, lock.spec)
+        print(
+            f"locked with {key_bits} key gates at positions "
+            f"{lock.spec.keygate_positions}",
+            file=sys.stderr,
+        )
+    text = (
+        write_verilog(netlist) if args.format == "verilog" else write_bench(netlist)
+    )
+    out = Path(args.output) if args.output else None
+    if out is None:
+        print(text, end="")
+    else:
+        out.write_text(text)
+        print(f"wrote {out}", file=sys.stderr)
+    return 0
+
+
+def cmd_table1(args: argparse.Namespace) -> int:
+    """``dynunlock table1``: regenerate the defense-evolution table."""
+    profile = _profile_from_args(args)
+    rows = run_table1(profile, progress=_progress)
+    print(render_table(TABLE1_HEADERS, [r.as_cells() for r in rows],
+                       title=f"Table I (profile={profile.name})"))
+    return 0
+
+
+def cmd_table2(args: argparse.Namespace) -> int:
+    """``dynunlock table2``: regenerate the paper's main results table."""
+    profile = _profile_from_args(args)
+    rows = run_table2(profile, benchmarks=args.benchmarks or None, progress=_progress)
+    print(render_table(TABLE2_HEADERS, [r.as_cells() for r in rows],
+                       title=f"Table II (profile={profile.name})"))
+    return 0
+
+
+def cmd_table3(args: argparse.Namespace) -> int:
+    """``dynunlock table3``: regenerate the key-size scaling table."""
+    profile = _profile_from_args(args)
+    rows = run_table3(profile, benchmarks=args.benchmarks or None, progress=_progress)
+    print(render_table(TABLE3_HEADERS, [r.as_cells() for r in rows],
+                       title=f"Table III (profile={profile.name})"))
+    return 0
+
+
+def cmd_scaling(args: argparse.Namespace) -> int:
+    """``dynunlock scaling``: regenerate the Section IV flop-count study."""
+    profile = _profile_from_args(args)
+    rows = run_flop_scaling(profile, progress=_progress)
+    print(render_table(SCALING_HEADERS, [r.as_cells() for r in rows],
+                       title=f"Flop scaling (profile={profile.name})"))
+    return 0
+
+
+def cmd_ablation(args: argparse.Namespace) -> int:
+    """``dynunlock ablation``: regenerate the Section V nonlinear-PRNG study."""
+    profile = _profile_from_args(args)
+    rows = run_nonlinear_ablation(profile, progress=_progress)
+    print(render_table(ABLATION_HEADERS, [r.as_cells() for r in rows],
+                       title=f"PRNG ablation (profile={profile.name})"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse command tree for the ``dynunlock`` CLI."""
+    parser = argparse.ArgumentParser(
+        prog="dynunlock",
+        description="DynUnlock (DATE 2020) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_profile(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--profile", choices=sorted(PROFILES), default=None,
+            help="experiment size profile (default: $REPRO_PROFILE or quick)",
+        )
+
+    p = sub.add_parser("info", help="show benchmark statistics")
+    p.add_argument("benchmark")
+    p.add_argument("--scale", type=int, default=16)
+    p.set_defaults(func=cmd_info)
+
+    p = sub.add_parser("list", help="list registry benchmarks")
+    p.set_defaults(func=cmd_list)
+
+    p = sub.add_parser("selftest", help="end-to-end attack on s27")
+    p.set_defaults(func=cmd_selftest)
+
+    p = sub.add_parser("export", help="export a benchmark as .bench/.v")
+    p.add_argument("benchmark")
+    p.add_argument("--scale", type=int, default=16)
+    p.add_argument("--format", choices=["bench", "verilog"], default="bench")
+    p.add_argument("--lock", action="store_true",
+                   help="insert an EFF-Dyn locked scan chain first")
+    p.add_argument("--key-bits", type=int, default=None)
+    p.add_argument("--lock-seed", type=int, default=0)
+    p.add_argument("--output", default=None)
+    p.set_defaults(func=cmd_export)
+
+    p = sub.add_parser("attack", help="run DynUnlock on one benchmark")
+    p.add_argument("benchmark")
+    p.add_argument("--key-bits", type=int, default=None)
+    p.add_argument("--scale", type=int, default=None)
+    p.add_argument("--lock-seed", type=int, default=0)
+    p.add_argument("--timeout", type=float, default=None)
+    add_profile(p)
+    p.set_defaults(func=cmd_attack)
+
+    for name, func, has_benchmarks in [
+        ("table1", cmd_table1, False),
+        ("table2", cmd_table2, True),
+        ("table3", cmd_table3, True),
+        ("scaling", cmd_scaling, False),
+        ("ablation", cmd_ablation, False),
+    ]:
+        p = sub.add_parser(name, help=f"regenerate {name}")
+        if has_benchmarks:
+            p.add_argument("benchmarks", nargs="*", default=[])
+        add_profile(p)
+        p.set_defaults(func=func)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,44 @@
+"""DynUnlock — the paper's contribution.
+
+* :mod:`repro.core.modeling` — turns a dynamically scan-locked sequential
+  circuit into a *combinational* locked circuit whose key inputs are the
+  LFSR seed bits (the paper's Fig. 4 / Algorithm 1);
+* :mod:`repro.core.algorithm1` — a literal transcription of the paper's
+  Algorithm 1 pseudo-code operating on explicit keystream bits, used to
+  cross-check the derived overlays;
+* :mod:`repro.core.dynunlock` — the full attack driver (the paper's
+  Fig. 3 flowchart): model, SAT-attack, enumerate seed candidates,
+  restart with extra capture cycles if needed, refine by oracle replay;
+* :mod:`repro.core.analysis` — GF(2) overlay matrices and candidate-space
+  analysis (why candidate counts come out as powers of two).
+"""
+
+from repro.core.modeling import (
+    CombinationalModel,
+    build_combinational_model,
+    derive_shift_in_crossings,
+    derive_shift_out_crossings,
+)
+from repro.core.dynunlock import DynUnlock, DynUnlockConfig, DynUnlockResult
+from repro.core.analysis import overlay_matrices, candidate_space_dimension
+from repro.core.cnf_dump import CnfDumper, probe_fixed_key_bits
+from repro.core.multichain import (
+    build_multichain_model,
+    dynunlock_multichain,
+)
+
+__all__ = [
+    "CnfDumper",
+    "probe_fixed_key_bits",
+    "build_multichain_model",
+    "dynunlock_multichain",
+    "CombinationalModel",
+    "build_combinational_model",
+    "derive_shift_in_crossings",
+    "derive_shift_out_crossings",
+    "DynUnlock",
+    "DynUnlockConfig",
+    "DynUnlockResult",
+    "overlay_matrices",
+    "candidate_space_dimension",
+]

@@ -1,0 +1,107 @@
+"""Literal counterpart of the paper's Algorithm 1.
+
+Algorithm 1 of the paper constructs (i) the LFSR keystream equations,
+(ii) the relation between the supplied pattern ``a`` and the applied
+pattern ``a'``, and (iii) the relation between the captured response
+``b'`` and the observed stream ``b``, all in terms of per-cycle key bits.
+
+The pseudo-code as printed contains index typos (loop bounds drift), so
+this module implements the *closed form* of the same three loops under
+the semantics fixed in :mod:`repro.scan.chain`:
+
+* load edge for the bit destined to position ``l`` crossing key gate
+  ``g`` (at chain position ``p_g``): cycle ``n - l + p_g``, for every
+  gate with ``p_g < l``;
+* unload edge for the bit captured at position ``l`` crossing gate
+  ``g``: cycle ``n + n_captures + p_g - l``, for every gate with
+  ``p_g >= l``.
+
+The test suite proves these formulas equal the symbolic derivation in
+:mod:`repro.core.modeling` for randomised chain geometries, which is the
+property Algorithm 1 exists to provide.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.prng.lfsr import FibonacciLfsr, Keystream
+from repro.scan.chain import ScanChainSpec
+
+
+def shift_in_crossings_closed_form(
+    spec: ScanChainSpec,
+) -> list[frozenset[tuple[int, int]]]:
+    """Closed-form (cycle, gate) crossings for the a -> a' relation."""
+    n = spec.n_flops
+    crossings: list[frozenset[tuple[int, int]]] = []
+    for l in range(n):
+        hits = {
+            (n - l + pos, g)
+            for g, pos in enumerate(spec.keygate_positions)
+            if pos < l
+        }
+        crossings.append(frozenset(hits))
+    return crossings
+
+
+def shift_out_crossings_closed_form(
+    spec: ScanChainSpec, n_captures: int = 1
+) -> list[frozenset[tuple[int, int]]]:
+    """Closed-form (cycle, gate) crossings for the b' -> b relation."""
+    n = spec.n_flops
+    crossings: list[frozenset[tuple[int, int]]] = []
+    for l in range(n):
+        hits = {
+            (n + n_captures + pos - l, g)
+            for g, pos in enumerate(spec.keygate_positions)
+            if pos >= l
+        }
+        crossings.append(frozenset(hits))
+    return crossings
+
+
+def algorithm1(
+    spec: ScanChainSpec,
+    taps: Sequence[int],
+    seed: Sequence[int],
+    a: Sequence[int],
+    b_prime: Sequence[int],
+    n_captures: int = 1,
+) -> tuple[list[int], list[int]]:
+    """The paper's Algorithm 1: Input (seed, a, b') -> Output (a', b).
+
+    Expands the LFSR from ``seed`` (first loop of the pseudo-code), then
+    applies the shift-in and shift-out key accumulations (second and
+    third loops) using the closed-form crossings above.
+    """
+    n = spec.n_flops
+    if len(a) != n or len(b_prime) != n:
+        raise ValueError("pattern/response length must equal the flop count")
+    width = len(seed)
+    if width < spec.n_keygates:
+        raise ValueError("seed narrower than the number of key gates")
+
+    # Loop 1: LFSR keystream. keys[t][i] is key bit i during cycle t.
+    total_cycles = 2 * n + n_captures  # load + captures + unload edges
+    stream = Keystream(FibonacciLfsr(width=width, seed_bits=list(seed), taps=taps))
+    keys = [stream.next_key() for _ in range(total_cycles)]
+
+    # Loop 2: a -> a'.
+    a_prime: list[int] = []
+    for l, crossing in enumerate(shift_in_crossings_closed_form(spec)):
+        bit = int(a[l])
+        for cycle, gate in crossing:
+            bit ^= keys[cycle][gate]
+        a_prime.append(bit)
+
+    # Loop 3: b' -> b.
+    b: list[int] = []
+    for l, crossing in enumerate(
+        shift_out_crossings_closed_form(spec, n_captures=n_captures)
+    ):
+        bit = int(b_prime[l])
+        for cycle, gate in crossing:
+            bit ^= keys[cycle][gate]
+        b.append(bit)
+    return a_prime, b

@@ -1,0 +1,42 @@
+"""Scan / logic locking defenses reproduced from the paper's Table I.
+
+* :mod:`repro.locking.effdyn` — **EFF-Dyn** (Karmakar et al. 2019), the
+  case-study defense: XOR key gates in the scan path driven by an LFSR
+  whose output changes every clock cycle.  Broken by DynUnlock.
+* :mod:`repro.locking.eff` — EFF (Karmakar et al. 2018): the same key
+  gates driven by a *static* secret key.  Broken by ScanSAT.
+* :mod:`repro.locking.dos` — DOS (Wang et al. 2017): dynamic key updated
+  every ``p`` test patterns.  Broken by the ScanSAT-dyn adjustment.
+* :mod:`repro.locking.dfs` — DFS (Guin et al. 2018): scan-out blocked on
+  mode switches (simplified model).  Broken by shift-and-leak.
+* :mod:`repro.locking.rll` — random XOR/XNOR combinational logic locking,
+  the substrate the original SAT attack was formulated against; used by
+  the DFS model and the baseline benches.
+* :mod:`repro.locking.tpm` — tamper-proof memory, key comparator and key
+  selector of the paper's Fig. 2 test-authentication scheme.
+"""
+
+from repro.locking.effdyn import EffDynLock, EffDynPublicView, lock_with_effdyn
+from repro.locking.eff import EffStaticLock, lock_with_eff
+from repro.locking.dos import DosLock, lock_with_dos
+from repro.locking.dfs import DfsLock, lock_with_dfs
+from repro.locking.rll import RllLock, lock_combinational_rll
+from repro.locking.keygates import place_keygates
+from repro.locking.tpm import TamperProofMemory, AuthenticationScheme
+
+__all__ = [
+    "EffDynLock",
+    "EffDynPublicView",
+    "lock_with_effdyn",
+    "EffStaticLock",
+    "lock_with_eff",
+    "DosLock",
+    "lock_with_dos",
+    "DfsLock",
+    "lock_with_dfs",
+    "RllLock",
+    "lock_combinational_rll",
+    "place_keygates",
+    "TamperProofMemory",
+    "AuthenticationScheme",
+]

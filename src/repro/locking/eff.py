@@ -1,0 +1,88 @@
+"""EFF: statically keyed scan obfuscation (Karmakar et al. 2018).
+
+The predecessor of EFF-Dyn: the same XOR key gates between scan flops, but
+driven by a *fixed* secret key for every shift cycle.  Broken by ScanSAT
+(Alrahis et al. 2019), which this repo reproduces as a baseline attack;
+Table I's first row.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.locking.keygates import place_keygates
+from repro.netlist.netlist import Netlist
+from repro.scan.chain import ScanChainSpec
+from repro.scan.oracle import ScanOracle
+from repro.util.bitvec import random_bits
+
+
+class ConstantKeystream:
+    """Keystream adapter that returns the same key every cycle."""
+
+    def __init__(self, key: Sequence[int]):
+        self._key = [int(b) for b in key]
+        self.width = len(self._key)
+
+    def next_key(self) -> list[int]:
+        return list(self._key)
+
+    def restart(self) -> None:  # stateless
+        return None
+
+
+@dataclass(frozen=True)
+class EffStaticPublicView:
+    """Structural information available to the ScanSAT attacker."""
+
+    spec: ScanChainSpec
+    key_bits: int
+
+
+@dataclass
+class EffStaticLock:
+    """A circuit locked with static EFF."""
+
+    netlist: Netlist
+    spec: ScanChainSpec
+    secret_key: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.secret_key) != self.spec.n_keygates:
+            raise ValueError("one key bit per key gate is required")
+
+    @property
+    def key_bits(self) -> int:
+        return len(self.secret_key)
+
+    def public_view(self) -> EffStaticPublicView:
+        return EffStaticPublicView(spec=self.spec, key_bits=len(self.secret_key))
+
+    def make_oracle(self) -> ScanOracle:
+        return ScanOracle(
+            netlist=self.netlist,
+            spec=self.spec,
+            keystream=ConstantKeystream(self.secret_key),
+            obfuscation_enabled=True,
+        )
+
+
+def lock_with_eff(
+    netlist: Netlist,
+    key_bits: int,
+    rng: random.Random,
+    placement: str = "random",
+    secret_key: Sequence[int] | None = None,
+) -> EffStaticLock:
+    """Lock a sequential netlist with static EFF."""
+    spec = place_keygates(netlist.n_dffs, key_bits, rng, policy=placement)
+    key = (
+        [int(b) for b in secret_key]
+        if secret_key is not None
+        else random_bits(key_bits, rng)
+    )
+    if len(key) != key_bits:
+        raise ValueError("secret key width must equal key_bits")
+    return EffStaticLock(netlist=netlist, spec=spec, secret_key=tuple(key))

@@ -1,0 +1,137 @@
+"""EFF-Dyn: dynamically keyed scan obfuscation (the case-study defense).
+
+XOR key gates sit between scan flops; with an unauthenticated test key the
+gates are driven by an LFSR that produces a fresh key every clock cycle.
+The LFSR seed is the root secret -- recovering it gives full scan access,
+which is exactly what DynUnlock targets.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.locking.keygates import place_keygates
+from repro.locking.tpm import TamperProofMemory, AuthenticationScheme
+from repro.netlist.netlist import Netlist
+from repro.prng.lfsr import FibonacciLfsr, Keystream
+from repro.prng.polynomials import default_taps
+from repro.scan.chain import ScanChainSpec
+from repro.scan.oracle import ScanOracle
+from repro.util.bitvec import random_bits
+
+
+@dataclass(frozen=True)
+class EffDynPublicView:
+    """What reverse engineering reveals (the attack's only static input).
+
+    Everything structural -- chain geometry, key-gate locations, LFSR
+    polynomial -- is public under the threat model; the seed is not.
+    """
+
+    spec: ScanChainSpec
+    lfsr_width: int
+    lfsr_taps: tuple[int, ...]
+    n_captures: int = 1
+
+
+@dataclass
+class EffDynLock:
+    """A circuit locked with EFF-Dyn, holding the secrets.
+
+    ``seed`` is the PRNG secret; ``secret_key`` is the scan-locking key
+    stored in the TPM (used only by the authentication path).
+    """
+
+    netlist: Netlist
+    spec: ScanChainSpec
+    lfsr_taps: tuple[int, ...]
+    seed: tuple[int, ...]
+    secret_key: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.seed) != self.spec.n_keygates:
+            raise ValueError(
+                "EFF-Dyn couples LFSR width to key-gate count: "
+                f"seed has {len(self.seed)} bits, {self.spec.n_keygates} gates"
+            )
+
+    @property
+    def key_bits(self) -> int:
+        return len(self.seed)
+
+    def public_view(self) -> EffDynPublicView:
+        return EffDynPublicView(
+            spec=self.spec,
+            lfsr_width=len(self.seed),
+            lfsr_taps=self.lfsr_taps,
+        )
+
+    def keystream(self) -> Keystream:
+        return Keystream(
+            FibonacciLfsr(
+                width=len(self.seed), seed_bits=list(self.seed), taps=self.lfsr_taps
+            )
+        )
+
+    def authentication(self) -> AuthenticationScheme:
+        return AuthenticationScheme(TamperProofMemory.with_key(self.secret_key))
+
+    def make_oracle(self, test_key: Sequence[int] | None = None) -> ScanOracle:
+        """The chip as the attacker sees it.
+
+        When ``test_key`` matches the secret key the returned oracle is
+        transparent (authenticated tester); any mismatching value leaves
+        the PRNG in control, per Fig. 2.  The default (None) models the
+        attacker, who by assumption does not know the secret key, without
+        gambling on a specific guess.
+        """
+        auth = self.authentication()
+        if test_key is None:
+            authenticated = False
+        else:
+            authenticated = auth.authenticate(list(test_key))
+        return ScanOracle(
+            netlist=self.netlist,
+            spec=self.spec,
+            keystream=self.keystream(),
+            obfuscation_enabled=not authenticated,
+        )
+
+
+def lock_with_effdyn(
+    netlist: Netlist,
+    key_bits: int,
+    rng: random.Random,
+    taps: Sequence[int] | None = None,
+    placement: str = "random",
+    seed: Sequence[int] | None = None,
+) -> EffDynLock:
+    """Lock a sequential netlist with EFF-Dyn.
+
+    ``key_bits`` sets both the number of key gates and the LFSR width, as
+    in the paper's experiments (128 up to 368 bits).  The LFSR seed is
+    drawn from ``rng`` unless given explicitly; an all-zero draw is
+    rerolled because a zero LFSR state would make the keystream constant.
+    """
+    spec = place_keygates(netlist.n_dffs, key_bits, rng, policy=placement)
+    chosen_taps = tuple(taps) if taps is not None else default_taps(key_bits)
+    if seed is None:
+        seed_bits = random_bits(key_bits, rng)
+        while not any(seed_bits):
+            seed_bits = random_bits(key_bits, rng)
+    else:
+        seed_bits = [int(b) for b in seed]
+        if len(seed_bits) != key_bits:
+            raise ValueError("explicit seed width must equal key_bits")
+        if not any(seed_bits):
+            raise ValueError("the all-zero seed is degenerate for an LFSR")
+    secret_key = random_bits(key_bits, rng)
+    return EffDynLock(
+        netlist=netlist,
+        spec=spec,
+        lfsr_taps=chosen_taps,
+        seed=tuple(seed_bits),
+        secret_key=tuple(secret_key),
+    )

@@ -1,0 +1,49 @@
+"""Key-gate placement policies.
+
+The paper inserts key gates "between the scan flops" without prescribing a
+placement; the experiments lock with as many key gates as key bits (e.g.
+128 gates for a 128-bit key).  Placement is randomised per design from a
+deterministic stream so experiments are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.scan.chain import ScanChainSpec
+
+
+def place_keygates(
+    n_flops: int,
+    n_keygates: int,
+    rng: random.Random,
+    policy: str = "random",
+) -> ScanChainSpec:
+    """Choose key-gate positions along a chain of ``n_flops`` flops.
+
+    ``policy`` is ``"random"`` (uniform without replacement) or
+    ``"spread"`` (evenly spaced, deterministic).  Valid positions are
+    ``0 .. n_flops - 2`` (between consecutive flops).
+    """
+    n_slots = n_flops - 1
+    if n_keygates > n_slots:
+        raise ValueError(
+            f"cannot place {n_keygates} key gates in {n_slots} slots "
+            f"(chain of {n_flops} flops)"
+        )
+    if policy == "random":
+        positions = sorted(rng.sample(range(n_slots), n_keygates))
+    elif policy == "spread":
+        if n_keygates == 0:
+            positions = []
+        else:
+            step = n_slots / n_keygates
+            positions = sorted({int(i * step) for i in range(n_keygates)})
+            # Collisions from rounding: fill greedily from unused slots.
+            unused = [p for p in range(n_slots) if p not in set(positions)]
+            while len(positions) < n_keygates:
+                positions.append(unused.pop(0))
+            positions = sorted(positions)
+    else:
+        raise ValueError(f"unknown placement policy {policy!r}")
+    return ScanChainSpec(n_flops=n_flops, keygate_positions=tuple(positions))

@@ -1,0 +1,82 @@
+"""Test authentication scheme of the paper's Fig. 2.
+
+A tamper-proof memory (TPM) holds the secret scan-locking key.  During
+test, an externally supplied test key is compared against it; on a match
+the key gates receive the (correct) secret key during shift as well, and
+the scan path behaves transparently.  On a mismatch the key selector hands
+control of the key gates to the PRNG, whose output updates every cycle.
+
+These classes are small by design -- the security content lives in the
+comparator/selector *behaviour*, which the oracle and the Fig. 2 example
+exercise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class TamperProofMemory:
+    """Holds the secret key; contents are not exposed via repr/str."""
+
+    _secret: tuple[int, ...]
+
+    @classmethod
+    def with_key(cls, secret_key: Sequence[int]) -> "TamperProofMemory":
+        for bit in secret_key:
+            if bit not in (0, 1):
+                raise ValueError("secret key bits must be 0/1")
+        return cls(tuple(int(b) for b in secret_key))
+
+    @property
+    def width(self) -> int:
+        return len(self._secret)
+
+    def compare(self, test_key: Sequence[int]) -> bool:
+        """Constant-shape comparator: True when the test key matches."""
+        if len(test_key) != len(self._secret):
+            return False
+        diff = 0
+        for secret_bit, test_bit in zip(self._secret, test_key):
+            diff |= secret_bit ^ (test_bit & 1)
+        return diff == 0
+
+    def read_for_capture(self) -> list[int]:
+        """Key delivered to the key gates during capture (SE low)."""
+        return list(self._secret)
+
+    def __repr__(self) -> str:  # never leak the secret in logs
+        return f"TamperProofMemory(width={len(self._secret)})"
+
+
+@dataclass
+class AuthenticationScheme:
+    """Comparator + key selector of Fig. 2.
+
+    ``select_key`` returns which source drives the key gates for a shift
+    cycle: the secret key (authenticated tester) or the PRNG (attacker).
+    """
+
+    tpm: TamperProofMemory
+    match_latched: bool = field(default=False, init=False)
+
+    def authenticate(self, test_key: Sequence[int]) -> bool:
+        self.match_latched = self.tpm.compare(test_key)
+        return self.match_latched
+
+    def select_key(
+        self, scan_enable: int, prng_key: Sequence[int]
+    ) -> list[int]:
+        """Key-gate control vector for the current cycle.
+
+        SE low (functional / capture): the TPM key, always.
+        SE high (shift): the TPM key iff the tester authenticated,
+        otherwise the PRNG's current output.
+        """
+        if scan_enable not in (0, 1):
+            raise ValueError("scan_enable must be 0/1")
+        if scan_enable == 0 or self.match_latched:
+            return self.tpm.read_for_capture()
+        return list(prng_key)

@@ -1,0 +1,138 @@
+"""Structural netlist transforms.
+
+These are the building blocks for both the defenses (inserting key gates
+into a scan path) and the attacks (duplicating the locked circuit to build
+a miter, turning flip-flops into pseudo-I/O for combinational modeling).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.netlist.gates import GateType
+from repro.netlist.netlist import Dff, Gate, Netlist, NetlistError
+
+
+def rename_nets(netlist: Netlist, mapper: Callable[[str], str]) -> Netlist:
+    """Return a new netlist with every net name passed through ``mapper``."""
+    renamed = Netlist(name=netlist.name)
+    for net in netlist.inputs:
+        renamed.add_input(mapper(net))
+    for dff in netlist.dffs.values():
+        renamed.add_dff(q=mapper(dff.q), d=mapper(dff.d))
+    for gate in netlist.gates.values():
+        renamed.add_gate(
+            mapper(gate.output), gate.gtype, [mapper(n) for n in gate.inputs]
+        )
+    for net in netlist.outputs:
+        renamed.add_output(mapper(net))
+    return renamed
+
+
+def copy_with_prefix(netlist: Netlist, prefix: str) -> Netlist:
+    """Deep-copy a netlist, prefixing every net name (for miter copies)."""
+    return rename_nets(netlist, lambda n: f"{prefix}{n}")
+
+
+def copy_netlist(netlist: Netlist) -> Netlist:
+    """Plain deep copy."""
+    return rename_nets(netlist, lambda n: n)
+
+
+def merge_netlists(base: Netlist, other: Netlist, name: str | None = None) -> Netlist:
+    """Union of two netlists over a shared net namespace.
+
+    Nets with equal names are the same net; both sides may *read* a shared
+    net but only one may drive it.  Primary inputs present in both are kept
+    once.  Outputs are concatenated (duplicates removed).
+    """
+    merged = Netlist(name=name or f"{base.name}+{other.name}")
+    for net in base.inputs:
+        merged.add_input(net)
+    for net in other.inputs:
+        if net not in merged.inputs:
+            if net in merged.gates or net in merged.dffs:
+                raise NetlistError(f"input {net!r} collides with a driven net")
+            merged.add_input(net)
+    for source in (base, other):
+        for dff in source.dffs.values():
+            merged.add_dff(q=dff.q, d=dff.d)
+        for gate in source.gates.values():
+            merged.add_gate(gate.output, gate.gtype, gate.inputs)
+    seen: set[str] = set()
+    for net in list(base.outputs) + list(other.outputs):
+        if net not in seen:
+            merged.add_output(net)
+            seen.add(net)
+    return merged
+
+
+def extract_combinational_core(
+    netlist: Netlist,
+    state_input_prefix: str = "ppi_",
+    state_output_prefix: str = "ppo_",
+) -> tuple[Netlist, list[str], list[str]]:
+    """Cut all flip-flops, exposing them as pseudo-primary I/O.
+
+    This is the classic full-scan transformation: each DFF Q net becomes a
+    pseudo-primary input (``ppi_<i>``) and each DFF D net is observed as a
+    pseudo-primary output (``ppo_<i>``), in the netlist's canonical flop
+    order.  Returns ``(core, ppi_nets, ppo_nets)``.
+
+    The original Q net names are preserved as BUF aliases of the new PPI
+    nets so that internal gate connectivity is untouched.
+    """
+    core = Netlist(name=f"{netlist.name}_comb")
+    for net in netlist.inputs:
+        core.add_input(net)
+
+    ppi_nets: list[str] = []
+    ppo_nets: list[str] = []
+    for index, q_net in enumerate(netlist.dff_q_nets()):
+        ppi = f"{state_input_prefix}{index}"
+        core.add_input(ppi)
+        # Alias the old Q name so downstream gates keep their connections.
+        core.add_gate(q_net, GateType.BUF, [ppi])
+        ppi_nets.append(ppi)
+
+    for gate in netlist.gates.values():
+        core.add_gate(gate.output, gate.gtype, gate.inputs)
+
+    for index, q_net in enumerate(netlist.dff_q_nets()):
+        d_net = netlist.dffs[q_net].d
+        ppo = f"{state_output_prefix}{index}"
+        core.add_gate(ppo, GateType.BUF, [d_net])
+        core.add_output(ppo)
+        ppo_nets.append(ppo)
+
+    for net in netlist.outputs:
+        core.add_output(net)
+    return core, ppi_nets, ppo_nets
+
+
+def strip_outputs(netlist: Netlist, keep: Iterable[str]) -> Netlist:
+    """Copy of ``netlist`` keeping only the listed primary outputs."""
+    keep_set = set(keep)
+    missing = keep_set - set(netlist.outputs)
+    if missing:
+        raise NetlistError(f"cannot keep non-outputs: {sorted(missing)}")
+    clone = copy_netlist(netlist)
+    clone.outputs = [net for net in clone.outputs if net in keep_set]
+    return clone
+
+
+def count_transitive_fanin(netlist: Netlist, net: str) -> int:
+    """Number of gates in the transitive fan-in cone of ``net``."""
+    seen: set[str] = set()
+    stack = [net]
+    count = 0
+    while stack:
+        current = stack.pop()
+        if current in seen:
+            continue
+        seen.add(current)
+        gate = netlist.gates.get(current)
+        if gate is not None:
+            count += 1
+            stack.extend(gate.inputs)
+    return count

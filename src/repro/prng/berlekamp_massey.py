@@ -1,0 +1,96 @@
+"""Berlekamp-Massey: recover the minimal LFSR generating a bit sequence.
+
+The threat model grants the attacker the LFSR polynomial via reverse
+engineering of the netlist.  In practice one can do even better: if any
+keystream bits ever leak (probing, side channels, or the first moments of
+a scan session before the comparator latches), Berlekamp-Massey recovers
+the shortest LFSR -- length *and* feedback polynomial -- from ``2L``
+consecutive bits.  This module provides that capability plus a bridge
+from the recovered polynomial to this project's tap convention, closing
+the loop for attacks on chips whose netlist-level PRNG was obfuscated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class LfsrDescription:
+    """Minimal LFSR in polynomial form.
+
+    ``connection_poly[j]`` is the coefficient ``c_j`` of the connection
+    polynomial ``C(x) = 1 + c_1 x + ... + c_L x^L`` over GF(2): the
+    recurrence is ``s[n] = c_1 s[n-1] ^ ... ^ c_L s[n-L]``.
+    """
+
+    length: int
+    connection_poly: tuple[int, ...]  # index 0 is the constant term 1
+
+    def recurrence_taps(self) -> tuple[int, ...]:
+        """Offsets ``d`` with ``s[n] = XOR s[n-d]`` (1-based distances)."""
+        return tuple(
+            j for j in range(1, self.length + 1) if self.connection_poly[j]
+        )
+
+    def predict_next(self, history: Sequence[int]) -> int:
+        """Next bit from the last ``length`` bits of history."""
+        if len(history) < self.length:
+            raise ValueError("history shorter than the register length")
+        bit = 0
+        for d in self.recurrence_taps():
+            bit ^= history[len(history) - d]
+        return bit
+
+    def extend(self, seed_bits: Sequence[int], n_bits: int) -> list[int]:
+        """Generate ``n_bits`` continuing from ``seed_bits``."""
+        stream = list(seed_bits)
+        for _ in range(n_bits):
+            stream.append(self.predict_next(stream))
+        return stream[len(seed_bits):]
+
+
+def berlekamp_massey(sequence: Sequence[int]) -> LfsrDescription:
+    """Minimal LFSR for ``sequence`` (classic O(n^2) BM over GF(2))."""
+    bits = [int(b) & 1 for b in sequence]
+    n = len(bits)
+    c = [0] * (n + 1)
+    b = [0] * (n + 1)
+    c[0] = b[0] = 1
+    length = 0
+    m = -1
+    for i in range(n):
+        # Discrepancy between the predicted and actual bit i.
+        delta = bits[i]
+        for j in range(1, length + 1):
+            delta ^= c[j] & bits[i - j]
+        if delta == 0:
+            continue
+        t = c.copy()
+        shift = i - m
+        for j in range(0, n + 1 - shift):
+            c[j + shift] ^= b[j]
+        if 2 * length <= i:
+            length = i + 1 - length
+            m = i
+            b = t
+    return LfsrDescription(
+        length=length, connection_poly=tuple(c[: length + 1])
+    )
+
+
+def recover_fibonacci_taps(
+    description: LfsrDescription, width: int | None = None
+) -> tuple[int, ...]:
+    """Translate a BM result into this project's Fibonacci tap indices.
+
+    Our convention (:mod:`repro.prng.lfsr`): the new bit enters at state
+    index 0 and ``new = XOR state[tap]``; state index ``j`` holds the bit
+    produced ``j+1`` updates ago.  A recurrence distance ``d`` therefore
+    corresponds to tap index ``d - 1``.
+    """
+    w = width if width is not None else description.length
+    if w < description.length:
+        raise ValueError("width smaller than the recovered register length")
+    return tuple(sorted(d - 1 for d in description.recurrence_taps()))

@@ -1,0 +1,116 @@
+"""Feedback tap tables for LFSRs.
+
+Tap sets are given as 0-indexed state positions feeding the XOR that
+produces the new bit; position ``width - 1`` (the last stage) must always
+be tapped or the register would not use its full length.
+
+Entries for widths <= 24 are verified maximal-length (primitive
+polynomial) by exhaustive period check in the test suite.  Larger entries
+follow the standard published tables (Xilinx XAPP052 and the Ward/Molteno
+tables); primitivity there is *not* load-bearing for DynUnlock -- the
+attack only requires that the attacker knows the feedback structure, which
+the threat model grants via reverse engineering.  For widths missing from
+the table, :func:`default_taps` falls back to a deterministic 4-tap rule.
+"""
+
+from __future__ import annotations
+
+
+def _stages(*stage_numbers: int) -> tuple[int, ...]:
+    """Convert 1-indexed stage numbers (XAPP052 style) to 0-indexed taps."""
+    return tuple(sorted(s - 1 for s in stage_numbers))
+
+
+# width -> taps (0-indexed, always includes width-1).
+PRIMITIVE_TAPS: dict[int, tuple[int, ...]] = {
+    2: _stages(2, 1),
+    3: _stages(3, 2),
+    4: _stages(4, 3),
+    5: _stages(5, 3),
+    6: _stages(6, 5),
+    7: _stages(7, 6),
+    8: _stages(8, 6, 5, 4),
+    9: _stages(9, 5),
+    10: _stages(10, 7),
+    11: _stages(11, 9),
+    12: _stages(12, 6, 4, 1),
+    13: _stages(13, 4, 3, 1),
+    14: _stages(14, 5, 3, 1),
+    15: _stages(15, 14),
+    16: _stages(16, 15, 13, 4),
+    17: _stages(17, 14),
+    18: _stages(18, 11),
+    19: _stages(19, 6, 2, 1),
+    20: _stages(20, 17),
+    21: _stages(21, 19),
+    22: _stages(22, 21),
+    23: _stages(23, 18),
+    24: _stages(24, 23, 22, 17),
+    25: _stages(25, 22),
+    26: _stages(26, 6, 2, 1),
+    27: _stages(27, 5, 2, 1),
+    28: _stages(28, 25),
+    29: _stages(29, 27),
+    30: _stages(30, 6, 4, 1),
+    31: _stages(31, 28),
+    32: _stages(32, 22, 2, 1),
+    48: _stages(48, 47, 21, 20),
+    64: _stages(64, 63, 61, 60),
+    96: _stages(96, 94, 49, 47),
+    128: _stages(128, 126, 101, 99),
+    144: _stages(144, 143, 75, 74),
+    160: _stages(160, 158, 142, 141),
+    168: _stages(168, 166, 153, 151),
+    176: _stages(176, 167, 145, 144),
+    192: _stages(192, 190, 178, 177),
+    208: _stages(208, 207, 205, 199),
+    224: _stages(224, 222, 217, 212),
+    240: _stages(240, 236, 210, 208),
+    256: _stages(256, 254, 251, 246),
+    272: _stages(272, 270, 266, 263),
+    288: _stages(288, 287, 278, 269),
+    304: _stages(304, 303, 302, 293),
+    320: _stages(320, 319, 317, 316),
+    336: _stages(336, 335, 332, 329),
+    352: _stages(352, 351, 347, 344),
+    368: _stages(368, 367, 364, 361),
+}
+
+
+def default_taps(width: int) -> tuple[int, ...]:
+    """Tap set for ``width``: table entry, or a deterministic fallback.
+
+    The fallback ``{w-1, w-2, w-4, w-5}`` always taps the final stage so
+    the register cycles through long sequences even when not provably
+    maximal.
+    """
+    if width < 2:
+        raise ValueError("LFSR width must be at least 2")
+    if width in PRIMITIVE_TAPS:
+        return PRIMITIVE_TAPS[width]
+    if width < 5:
+        return tuple(sorted({width - 1, width - 2}))
+    return tuple(sorted({width - 1, width - 2, width - 4, width - 5}))
+
+
+def is_maximal_length(width: int, taps: tuple[int, ...], limit: int | None = None) -> bool:
+    """Exhaustively check whether the Fibonacci LFSR has period 2^w - 1.
+
+    Only practical for small widths (<= ~24); used by the test suite to
+    validate the table.  ``limit`` caps the walk for safety.
+    """
+    from repro.prng.lfsr import FibonacciLfsr
+
+    full_period = (1 << width) - 1
+    if limit is not None and full_period > limit:
+        raise ValueError(f"period 2^{width}-1 exceeds the check limit")
+    lfsr = FibonacciLfsr(width=width, taps=taps, seed_bits=[1] + [0] * (width - 1))
+    start = tuple(lfsr.state)
+    steps = 0
+    while True:
+        lfsr.advance()
+        steps += 1
+        if tuple(lfsr.state) == start:
+            return steps == full_period
+        if steps > full_period:
+            return False

@@ -1,0 +1,41 @@
+"""Experiment harness and paper-style table rendering.
+
+:mod:`repro.reports.experiments` runs the paper's experiments (Tables
+I-III plus the scalability and ablation studies) at a chosen profile;
+:mod:`repro.reports.tables` renders the resulting rows in the same shape
+the paper prints.  The pytest benches and the CLI are thin wrappers over
+these functions, so `EXPERIMENTS.md` numbers are regenerable either way.
+"""
+
+from repro.reports.profiles import ExperimentProfile, PROFILES, active_profile
+from repro.reports.experiments import (
+    Table1Row,
+    Table2Row,
+    Table3Row,
+    run_table1,
+    run_table2,
+    run_table2_row,
+    run_table3,
+    run_table3_cell,
+    run_flop_scaling,
+    run_nonlinear_ablation,
+)
+from repro.reports.tables import render_table, render_markdown_table
+
+__all__ = [
+    "ExperimentProfile",
+    "PROFILES",
+    "active_profile",
+    "Table1Row",
+    "Table2Row",
+    "Table3Row",
+    "run_table1",
+    "run_table2",
+    "run_table2_row",
+    "run_table3",
+    "run_table3_cell",
+    "run_flop_scaling",
+    "run_nonlinear_ablation",
+    "render_table",
+    "render_markdown_table",
+]

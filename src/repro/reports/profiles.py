@@ -1,0 +1,76 @@
+"""Experiment size profiles.
+
+The paper ran a 24-core Xeon with the lingeling C solver; this repo runs
+a pure-Python CDCL.  Profiles keep the experiment *structure* identical
+while shrinking instance sizes so the whole table regenerates on a
+laptop:
+
+* ``quick`` (default): circuits at 1/16 of the paper's scan-flop counts,
+  16-bit keys, one LFSR seed per circuit.  Minutes for all of Table II.
+* ``full``: 1/8 scale, 16-bit keys, two seeds.  Under an hour.
+* ``paper``: the paper's sizes (128-bit keys, full flop counts, ten
+  seeds).  Provided for completeness; expect *days* with a Python solver
+  -- the substitution is documented in DESIGN.md/EXPERIMENTS.md.
+
+Select with the ``REPRO_PROFILE`` environment variable.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class ExperimentProfile:
+    """One named experiment size (scale, key width, seeds, budgets)."""
+    name: str
+    scale: int  # divides the paper's scan-flop counts
+    key_bits: int  # Table II key size
+    n_seeds: int  # LFSR seeds averaged per circuit (paper: 10)
+    timeout_s: float  # per-attack wall-clock budget
+    table3_key_sizes: tuple[int, ...]  # Table III sweep
+    candidate_limit: int = 256
+
+    def effective_key_bits(self, n_flops: int, requested: int | None = None) -> int:
+        """Clamp the key width to the available key-gate slots."""
+        want = requested if requested is not None else self.key_bits
+        return min(want, n_flops - 1)
+
+
+PROFILES: dict[str, ExperimentProfile] = {
+    "quick": ExperimentProfile(
+        name="quick",
+        scale=16,
+        key_bits=16,
+        n_seeds=1,
+        timeout_s=240.0,
+        table3_key_sizes=(18, 20, 22),
+    ),
+    "full": ExperimentProfile(
+        name="full",
+        scale=8,
+        key_bits=16,
+        n_seeds=2,
+        timeout_s=1200.0,
+        table3_key_sizes=(18, 22, 26, 30),
+    ),
+    "paper": ExperimentProfile(
+        name="paper",
+        scale=1,
+        key_bits=128,
+        n_seeds=10,
+        timeout_s=86_400.0,
+        table3_key_sizes=tuple(range(144, 369, 16)),
+    ),
+}
+
+
+def active_profile() -> ExperimentProfile:
+    """Profile selected by ``REPRO_PROFILE`` (default: quick)."""
+    name = os.environ.get("REPRO_PROFILE", "quick").strip().lower()
+    if name not in PROFILES:
+        raise KeyError(
+            f"unknown REPRO_PROFILE {name!r}; choose from {sorted(PROFILES)}"
+        )
+    return PROFILES[name]

@@ -1,0 +1,34 @@
+"""SAT substrate: CNF containers, circuit-to-CNF encoding, CDCL solver.
+
+The paper runs the Subramanyan et al. SAT attack on top of the lingeling
+solver.  Neither is available here, so this package implements the whole
+stack from scratch:
+
+* :mod:`repro.sat.cnf` — clause container with DIMACS import/export;
+* :mod:`repro.sat.tseitin` — Tseitin encoding of netlists into CNF;
+* :mod:`repro.sat.solver` — a conflict-driven clause-learning (CDCL)
+  solver with two-literal watching, VSIDS decisions, phase saving, 1-UIP
+  learning, Luby restarts, learned-clause reduction and incremental
+  solving under assumptions;
+* :mod:`repro.sat.enumerate` — projected model enumeration via blocking
+  clauses (used to count seed candidates).
+"""
+
+from repro.sat.cnf import Cnf, lit_of, var_of, is_negative
+from repro.sat.tseitin import CircuitEncoder
+from repro.sat.solver import CdclSolver, SolveResult
+from repro.sat.enumerate import enumerate_models
+from repro.sat.preprocess import preprocess, PreprocessResult
+
+__all__ = [
+    "preprocess",
+    "PreprocessResult",
+    "Cnf",
+    "lit_of",
+    "var_of",
+    "is_negative",
+    "CircuitEncoder",
+    "CdclSolver",
+    "SolveResult",
+    "enumerate_models",
+]

@@ -1,0 +1,124 @@
+"""CNF formula container and DIMACS serialisation.
+
+Literals follow the DIMACS convention: non-zero signed integers, where
+``+v`` is the positive literal of variable ``v`` (variables are 1-based)
+and ``-v`` its negation.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Sequence
+
+
+def lit_of(var: int, positive: bool = True) -> int:
+    """Build a literal from a variable index."""
+    if var <= 0:
+        raise ValueError("variables are 1-based positive integers")
+    return var if positive else -var
+
+
+def var_of(lit: int) -> int:
+    """Variable index of a literal."""
+    if lit == 0:
+        raise ValueError("0 is not a literal")
+    return abs(lit)
+
+
+def is_negative(lit: int) -> bool:
+    """True when the literal is a negated variable."""
+    return lit < 0
+
+
+class Cnf:
+    """A growable CNF formula.
+
+    Tracks the highest variable used; fresh-variable allocation goes
+    through :meth:`new_var` so encoders can interleave with manually
+    numbered variables safely.
+    """
+
+    def __init__(self, n_vars: int = 0):
+        self.n_vars = n_vars
+        self.clauses: list[tuple[int, ...]] = []
+
+    def new_var(self) -> int:
+        self.n_vars += 1
+        return self.n_vars
+
+    def new_vars(self, count: int) -> list[int]:
+        return [self.new_var() for _ in range(count)]
+
+    def add_clause(self, lits: Sequence[int]) -> None:
+        clause = tuple(int(l) for l in lits)
+        for lit in clause:
+            if lit == 0:
+                raise ValueError("literal 0 is not allowed")
+            if abs(lit) > self.n_vars:
+                self.n_vars = abs(lit)
+        self.clauses.append(clause)
+
+    def add_clauses(self, clauses: Iterable[Sequence[int]]) -> None:
+        for clause in clauses:
+            self.add_clause(clause)
+
+    def extend(self, other: "Cnf") -> None:
+        """Append another formula (same variable namespace)."""
+        self.n_vars = max(self.n_vars, other.n_vars)
+        self.clauses.extend(other.clauses)
+
+    @property
+    def n_clauses(self) -> int:
+        return len(self.clauses)
+
+    # -- DIMACS -----------------------------------------------------------
+    def to_dimacs(self) -> str:
+        lines = [f"p cnf {self.n_vars} {len(self.clauses)}"]
+        for clause in self.clauses:
+            lines.append(" ".join(str(l) for l in clause) + " 0")
+        return "\n".join(lines) + "\n"
+
+    @classmethod
+    def from_dimacs(cls, text: str) -> "Cnf":
+        cnf = cls()
+        declared_vars = 0
+        for raw in text.splitlines():
+            line = raw.strip()
+            if not line or line.startswith("c"):
+                continue
+            if line.startswith("p"):
+                parts = line.split()
+                if len(parts) != 4 or parts[1] != "cnf":
+                    raise ValueError(f"bad problem line: {line!r}")
+                declared_vars = int(parts[2])
+                continue
+            lits = [int(tok) for tok in line.split()]
+            if lits and lits[-1] == 0:
+                lits = lits[:-1]
+            if lits:
+                cnf.add_clause(lits)
+        cnf.n_vars = max(cnf.n_vars, declared_vars)
+        return cnf
+
+    def save(self, path: str | Path) -> None:
+        Path(path).write_text(self.to_dimacs())
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Cnf":
+        return cls.from_dimacs(Path(path).read_text())
+
+    def evaluate(self, assignment: Sequence[int]) -> bool:
+        """Check a full assignment (index 0 unused; values 0/1)."""
+        for clause in self.clauses:
+            satisfied = False
+            for lit in clause:
+                value = assignment[abs(lit)]
+                if (lit > 0 and value == 1) or (lit < 0 and value == 0):
+                    satisfied = True
+                    break
+            if not satisfied:
+                return False
+        return True
+
+    def __repr__(self) -> str:
+        return f"Cnf(vars={self.n_vars}, clauses={len(self.clauses)})"

@@ -1,0 +1,52 @@
+"""Projected model enumeration.
+
+After DynUnlock's DIP loop converges, the accumulated constraint formula
+may still admit several seed assignments; the paper reports these as "seed
+candidates" (Tables II and III).  Enumeration projects models onto the
+seed variables and blocks each found projection with one clause.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from repro.sat.solver import CdclSolver
+
+
+def enumerate_models(
+    solver: CdclSolver,
+    project_vars: Sequence[int],
+    limit: int = 1024,
+    assumptions: Sequence[int] = (),
+    max_conflicts_per_model: int | None = None,
+) -> Iterator[list[int]]:
+    """Yield distinct assignments to ``project_vars`` (bit lists).
+
+    Mutates the solver by adding blocking clauses: after enumeration the
+    solver excludes every yielded projection.  ``limit`` bounds the number
+    of models; enumeration also stops on UNSAT (space exhausted) or an
+    indeterminate result (conflict budget exceeded).
+    """
+    produced = 0
+    while produced < limit:
+        result = solver.solve(
+            assumptions=assumptions, max_conflicts=max_conflicts_per_model
+        )
+        if result.satisfiable is not True:
+            return
+        assert result.model is not None
+        projection = [result.model[v] for v in project_vars]
+        yield projection
+        produced += 1
+        blocking = [
+            (-v if bit else v) for v, bit in zip(project_vars, projection)
+        ]
+        if not solver.add_clause(blocking):
+            return
+
+
+def count_models(
+    solver: CdclSolver, project_vars: Sequence[int], limit: int = 1024
+) -> int:
+    """Count projected models up to ``limit`` (destructive, see above)."""
+    return sum(1 for _ in enumerate_models(solver, project_vars, limit=limit))

@@ -1,0 +1,130 @@
+"""CNF preprocessing: cheap simplifications before search.
+
+Implements the classic lightweight passes -- top-level unit propagation,
+pure-literal elimination, tautology and duplicate removal -- returning a
+simplified formula plus the forced assignments.  Useful both as a solver
+front end and as an analysis tool (e.g. counting how many seed variables
+an attack's constraint set already fixes without any search at all).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sat.cnf import Cnf
+
+
+@dataclass
+class PreprocessResult:
+    """Simplified formula plus forced/pure assignments and removal stats."""
+    simplified: Cnf
+    forced: dict[int, int]  # var -> value fixed by unit propagation
+    unsatisfiable: bool
+    removed_tautologies: int = 0
+    removed_duplicates: int = 0
+    eliminated_pure: dict[int, int] = field(default_factory=dict)
+
+
+def preprocess(cnf: Cnf, pure_literals: bool = True) -> PreprocessResult:
+    """Simplify ``cnf`` (non-destructively).
+
+    Iterates unit propagation and (optionally) pure-literal elimination
+    to a fixed point.  Pure-literal assignments are *satisfying choices*
+    rather than logical consequences, so they are reported separately in
+    ``eliminated_pure`` and must not be read as forced values.
+    """
+    forced: dict[int, int] = {}
+    pure_chosen: dict[int, int] = {}
+    tautologies = 0
+    duplicates = 0
+
+    clauses: list[tuple[int, ...]] = []
+    seen_clauses: set[tuple[int, ...]] = set()
+    for clause in cnf.clauses:
+        lits = tuple(sorted(set(clause), key=abs))
+        if any(-lit in lits for lit in lits):
+            tautologies += 1
+            continue
+        if lits in seen_clauses:
+            duplicates += 1
+            continue
+        seen_clauses.add(lits)
+        clauses.append(lits)
+
+    def value_of(lit: int) -> int | None:
+        var = abs(lit)
+        assignment = forced.get(var, pure_chosen.get(var))
+        if assignment is None:
+            return None
+        return assignment if lit > 0 else 1 - assignment
+
+    changed = True
+    unsat = False
+    while changed and not unsat:
+        changed = False
+
+        # Unit propagation.
+        next_clauses: list[tuple[int, ...]] = []
+        for clause in clauses:
+            survivors = []
+            satisfied = False
+            for lit in clause:
+                value = value_of(lit)
+                if value == 1:
+                    satisfied = True
+                    break
+                if value is None:
+                    survivors.append(lit)
+            if satisfied:
+                changed = True
+                continue
+            if not survivors:
+                unsat = True
+                break
+            if len(survivors) == 1:
+                lit = survivors[0]
+                var = abs(lit)
+                want = 1 if lit > 0 else 0
+                if forced.get(var, want) != want:
+                    unsat = True
+                    break
+                if var not in forced:
+                    forced[var] = want
+                    pure_chosen.pop(var, None)
+                    changed = True
+                continue
+            next_clauses.append(tuple(survivors))
+        if unsat:
+            break
+        clauses = next_clauses
+
+        # Pure literal elimination.
+        if pure_literals:
+            polarity: dict[int, set[int]] = {}
+            for clause in clauses:
+                for lit in clause:
+                    polarity.setdefault(abs(lit), set()).add(
+                        1 if lit > 0 else 0
+                    )
+            for var, signs in polarity.items():
+                if var in forced or var in pure_chosen:
+                    continue
+                if len(signs) == 1:
+                    pure_chosen[var] = next(iter(signs))
+                    changed = True
+
+    simplified = Cnf(cnf.n_vars)
+    if unsat:
+        simplified.add_clause([1])
+        simplified.add_clause([-1])
+    else:
+        for clause in clauses:
+            simplified.add_clause(list(clause))
+    return PreprocessResult(
+        simplified=simplified,
+        forced=forced,
+        unsatisfiable=unsat,
+        removed_tautologies=tautologies,
+        removed_duplicates=duplicates,
+        eliminated_pure=pure_chosen,
+    )

@@ -1,0 +1,157 @@
+"""Tseitin encoding of netlists into CNF.
+
+Each net gets one SAT variable; every gate contributes the standard
+constant-size clause set expressing ``output <-> op(inputs)``.  Multi-input
+XOR/XNOR gates are decomposed into binary XOR chains with auxiliary
+variables so clause counts stay linear.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.netlist.gates import GateType
+from repro.netlist.netlist import Gate, Netlist
+from repro.sat.cnf import Cnf
+
+
+class CircuitEncoder:
+    """Encodes one or more netlists into a shared :class:`Cnf`.
+
+    Net-to-variable maps are namespaced by an instance prefix so that a
+    miter (two copies of the locked circuit) can share key variables while
+    keeping internal nets separate.
+    """
+
+    def __init__(self, cnf: Cnf | None = None):
+        self.cnf = cnf if cnf is not None else Cnf()
+        self._net_vars: dict[str, int] = {}
+
+    def var_for(self, net: str) -> int:
+        """SAT variable of a (namespaced) net, created on first use."""
+        var = self._net_vars.get(net)
+        if var is None:
+            var = self.cnf.new_var()
+            self._net_vars[net] = var
+        return var
+
+    def has_net(self, net: str) -> bool:
+        return net in self._net_vars
+
+    def alias(self, net: str, var: int) -> None:
+        """Force a net to use an existing variable (key sharing)."""
+        existing = self._net_vars.get(net)
+        if existing is not None and existing != var:
+            raise ValueError(f"net {net!r} already bound to variable {existing}")
+        self._net_vars[net] = var
+
+    # ------------------------------------------------------------------
+    def encode_netlist(self, netlist: Netlist, prefix: str = "") -> dict[str, int]:
+        """Encode the combinational part of ``netlist``.
+
+        Flip-flops are rejected: sequential circuits must first be turned
+        into combinational models (that is the whole point of the attack).
+        Returns the net -> variable map for this instance (unprefixed net
+        names as keys).
+        """
+        if netlist.dffs:
+            raise ValueError(
+                "cannot Tseitin-encode a sequential netlist; "
+                "build a combinational model first"
+            )
+        mapping: dict[str, int] = {}
+        for net in netlist.inputs:
+            mapping[net] = self.var_for(prefix + net)
+        for gate in netlist.topological_gates():
+            out_var = self.var_for(prefix + gate.output)
+            in_vars = [self.var_for(prefix + n) for n in gate.inputs]
+            self._encode_gate(gate, out_var, in_vars)
+            mapping[gate.output] = out_var
+            for net, var in zip(gate.inputs, in_vars):
+                mapping.setdefault(net, var)
+        for net in netlist.outputs:
+            mapping.setdefault(net, self.var_for(prefix + net))
+        return mapping
+
+    # ------------------------------------------------------------------
+    def _encode_gate(self, gate: Gate, out: int, ins: list[int]) -> None:
+        add = self.cnf.add_clause
+        gtype = gate.gtype
+        if gtype is GateType.AND:
+            for x in ins:
+                add([-out, x])
+            add([out] + [-x for x in ins])
+        elif gtype is GateType.NAND:
+            for x in ins:
+                add([out, x])
+            add([-out] + [-x for x in ins])
+        elif gtype is GateType.OR:
+            for x in ins:
+                add([out, -x])
+            add([-out] + list(ins))
+        elif gtype is GateType.NOR:
+            for x in ins:
+                add([-out, -x])
+            add([out] + list(ins))
+        elif gtype is GateType.XOR:
+            self._encode_xor_chain(out, ins, invert=False)
+        elif gtype is GateType.XNOR:
+            self._encode_xor_chain(out, ins, invert=True)
+        elif gtype is GateType.NOT:
+            add([-out, -ins[0]])
+            add([out, ins[0]])
+        elif gtype is GateType.BUF:
+            add([-out, ins[0]])
+            add([out, -ins[0]])
+        elif gtype is GateType.MUX:
+            sel, in0, in1 = ins
+            add([-out, sel, in0])
+            add([out, sel, -in0])
+            add([-out, -sel, in1])
+            add([out, -sel, -in1])
+        elif gtype is GateType.CONST0:
+            add([-out])
+        elif gtype is GateType.CONST1:
+            add([out])
+        else:  # pragma: no cover
+            raise ValueError(f"cannot encode gate type {gtype!r}")
+
+    def _encode_xor_chain(self, out: int, ins: Sequence[int], invert: bool) -> None:
+        """``out = x1 ^ x2 ^ ... [^ 1 when invert]``.
+
+        Reduced as a balanced tree rather than a linear chain: same clause
+        count, but implication depth O(log n), which measurably helps unit
+        propagation on the wide seed-overlay XORs the attack models emit.
+        """
+        add = self.cnf.add_clause
+        layer = list(ins)
+        while len(layer) > 2:
+            next_layer: list[int] = []
+            for i in range(0, len(layer) - 1, 2):
+                aux = self.cnf.new_var()
+                self._encode_xor2(aux, layer[i], layer[i + 1])
+                next_layer.append(aux)
+            if len(layer) % 2:
+                next_layer.append(layer[-1])
+            layer = next_layer
+        if len(layer) == 1:
+            acc = layer[0]
+            if invert:
+                add([-out, -acc])
+                add([out, acc])
+            else:
+                add([-out, acc])
+                add([out, -acc])
+            return
+        if invert:
+            self._encode_xor2(-out, layer[0], layer[1])
+        else:
+            self._encode_xor2(out, layer[0], layer[1])
+
+    def _encode_xor2(self, out: int, a: int, b: int) -> None:
+        """``out = a ^ b`` (out may be a negative literal for XNOR)."""
+        add = self.cnf.add_clause
+        add([-out, a, b])
+        add([-out, -a, -b])
+        add([out, a, -b])
+        add([out, -a, b])

@@ -1,0 +1,170 @@
+"""The attacker's oracle: a working chip with dynamically locked scan.
+
+Implements the exact query protocol assumed by the paper's threat model:
+the attacker supplies an (incorrect) test key, so the PRNG drives the key
+gates during every shift; each query is preceded by a power-on reset so
+the PRNG restarts from its secret seed; the capture edge also advances the
+PRNG but the key gates only sit on the scan path, so capture itself is
+clean.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Protocol, Sequence
+
+from repro.netlist.netlist import Netlist, NetlistError
+from repro.scan.chain import ScanChainSpec, shift_in, shift_out, xor_int
+from repro.sim.seqsim import SequentialSimulator
+
+
+class KeystreamLike(Protocol):
+    """Anything producing per-cycle dynamic keys (LFSR, nonlinear PRNG)."""
+
+    width: int
+
+    def next_key(self) -> list[int]: ...
+
+    def restart(self) -> None: ...
+
+
+@dataclass
+class ScanResponse:
+    """Result of one scan query."""
+
+    scan_out: list[int]
+    primary_outputs: list[int]
+
+
+class ScanOracle:
+    """Protocol-level simulation of the locked chip.
+
+    ``netlist`` is the *unlocked* functional netlist; the obfuscation is
+    applied by the scan protocol layer, which is behaviourally identical
+    to inserting physical XOR key gates in the scan path (the structural
+    emitter in :mod:`repro.scan.structural` is cross-checked against this
+    in the test suite).
+    """
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        spec: ScanChainSpec,
+        keystream: KeystreamLike,
+        obfuscation_enabled: bool = True,
+    ):
+        if spec.n_flops != netlist.n_dffs:
+            raise NetlistError(
+                f"chain length {spec.n_flops} != flop count {netlist.n_dffs}"
+            )
+        if keystream.width < spec.n_keygates:
+            raise ValueError(
+                "keystream width smaller than the number of key gates"
+            )
+        self.netlist = netlist
+        self.spec = spec
+        self.keystream = keystream
+        self.obfuscation_enabled = obfuscation_enabled
+        self._sim = SequentialSimulator(netlist)
+        self.query_count = 0
+        self.shift_cycles = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def n_flops(self) -> int:
+        return self.spec.n_flops
+
+    @property
+    def n_primary_inputs(self) -> int:
+        return len(self.netlist.inputs)
+
+    def _input_map(self, primary_inputs: Sequence[int] | None) -> dict[str, int]:
+        nets = self.netlist.inputs
+        if primary_inputs is None:
+            return {net: 0 for net in nets}
+        if len(primary_inputs) != len(nets):
+            raise ValueError(
+                f"expected {len(nets)} primary input bits, got {len(primary_inputs)}"
+            )
+        return dict(zip(nets, primary_inputs))
+
+    def _zero_key(self) -> list[int]:
+        return [0] * max(1, self.keystream.width)
+
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        scan_in: Sequence[int],
+        primary_inputs: Sequence[int] | None = None,
+        n_captures: int = 1,
+    ) -> ScanResponse:
+        """One full test operation: reset, load, capture(s), unload.
+
+        ``scan_in[l]`` is the pattern bit aimed at chain position ``l``;
+        the returned ``scan_out[l]`` is what the tester observes for the
+        response bit captured in position ``l`` (both corrupted by the
+        dynamic obfuscation when enabled).  ``n_captures`` functional
+        edges are applied back-to-back with the same primary inputs (the
+        multi-capture protocol DynUnlock's restart refinement uses);
+        primary outputs are sampled before the last capture edge.
+        """
+        n = self.spec.n_flops
+        if len(scan_in) != n:
+            raise ValueError(f"scan_in must have {n} bits, got {len(scan_in)}")
+        if n_captures < 1:
+            raise ValueError("at least one capture edge is required")
+        self.query_count += 1
+        self.shift_cycles += 2 * n + n_captures - 1
+
+        # Power-on reset: PRNG reloads the secret seed, flops go to 0.
+        self.keystream.restart()
+        self._sim.reset(0)
+
+        if self.obfuscation_enabled:
+            load_keys = [self.keystream.next_key() for _ in range(n)]
+        else:
+            load_keys = [self._zero_key() for _ in range(n)]
+            for _ in range(n):
+                self.keystream.next_key()
+        applied = shift_in(
+            self.spec, [0] * n, list(scan_in), load_keys, xor_int
+        )
+
+        # Capture edges: functional clocks; PRNG advances, scan path idle.
+        self._sim.set_state_vector(applied)
+        inputs = self._input_map(primary_inputs)
+        primary_outputs: list[int] = []
+        for _ in range(n_captures):
+            self.keystream.next_key()
+            pre_edge_values = self._sim.step(inputs)
+            primary_outputs = [
+                pre_edge_values[net] for net in self.netlist.outputs
+            ]
+        captured = self._sim.get_state_vector()
+
+        if self.obfuscation_enabled:
+            unload_keys = [self.keystream.next_key() for _ in range(n - 1)]
+        else:
+            unload_keys = [self._zero_key() for _ in range(n - 1)]
+        observed = shift_out(self.spec, captured, unload_keys, xor_int, fill_bit=0)
+        return ScanResponse(scan_out=observed, primary_outputs=primary_outputs)
+
+    # ------------------------------------------------------------------
+    def unlocked_query(
+        self,
+        scan_in: Sequence[int],
+        primary_inputs: Sequence[int] | None = None,
+        n_captures: int = 1,
+    ) -> ScanResponse:
+        """Ground-truth query with obfuscation bypassed.
+
+        This is what a trusted tester holding the secret key would see;
+        used by tests and by the post-attack verification step ("does the
+        recovered seed descramble real responses correctly").
+        """
+        previous = self.obfuscation_enabled
+        self.obfuscation_enabled = False
+        try:
+            return self.query(scan_in, primary_inputs, n_captures=n_captures)
+        finally:
+            self.obfuscation_enabled = previous

@@ -1,0 +1,113 @@
+"""Combinational logic evaluation.
+
+The scalar path is the reference semantics; the vectorised path packs many
+patterns into numpy uint8 arrays and is used by brute-force refinement and
+fault simulation where thousands of patterns are evaluated per circuit.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.netlist.gates import GateType, evaluate_gate, evaluate_gate_vec
+from repro.netlist.netlist import Netlist, NetlistError
+
+
+def evaluate(
+    netlist: Netlist,
+    input_values: Mapping[str, int],
+    state_values: Mapping[str, int] | None = None,
+) -> dict[str, int]:
+    """Evaluate every net of the combinational part once.
+
+    ``input_values`` maps primary-input nets to bits; ``state_values`` maps
+    DFF Q nets to bits (required when the netlist has flip-flops).  Returns
+    the full net -> bit valuation, from which callers read outputs or DFF D
+    pins.
+    """
+    values: dict[str, int] = {}
+    for net in netlist.inputs:
+        if net not in input_values:
+            raise NetlistError(f"missing value for primary input {net!r}")
+        values[net] = _as_bit(input_values[net], net)
+    for q_net in netlist.dffs:
+        if state_values is None or q_net not in state_values:
+            raise NetlistError(f"missing state value for flip-flop {q_net!r}")
+        values[q_net] = _as_bit(state_values[q_net], q_net)
+
+    for gate in netlist.topological_gates():
+        operands = [values[n] for n in gate.inputs]
+        values[gate.output] = evaluate_gate(gate.gtype, operands)
+    return values
+
+
+def _as_bit(value: int, net: str) -> int:
+    if value not in (0, 1):
+        raise NetlistError(f"net {net!r}: bit value must be 0/1, got {value!r}")
+    return int(value)
+
+
+class CombinationalSimulator:
+    """Reusable evaluator for a fixed netlist.
+
+    Precomputes the topological order once; ``run`` then evaluates a single
+    pattern, and ``run_many`` evaluates a whole pattern matrix vectorised.
+    """
+
+    def __init__(self, netlist: Netlist):
+        self.netlist = netlist
+        self._order = netlist.topological_gates()
+
+    def run(
+        self,
+        input_values: Mapping[str, int],
+        state_values: Mapping[str, int] | None = None,
+    ) -> dict[str, int]:
+        return evaluate(self.netlist, input_values, state_values)
+
+    def run_outputs(
+        self,
+        input_values: Mapping[str, int],
+        state_values: Mapping[str, int] | None = None,
+    ) -> list[int]:
+        values = self.run(input_values, state_values)
+        return [values[net] for net in self.netlist.outputs]
+
+    def run_many(self, input_matrix: Mapping[str, np.ndarray]) -> dict[str, np.ndarray]:
+        """Vectorised evaluation.
+
+        ``input_matrix`` must provide a uint8 array of identical length for
+        every primary input *and* every DFF Q net.  Returns arrays for all
+        nets.
+        """
+        values: dict[str, np.ndarray] = {}
+        n_patterns: int | None = None
+        for net in list(self.netlist.inputs) + list(self.netlist.dffs):
+            if net not in input_matrix:
+                raise NetlistError(f"missing pattern column for net {net!r}")
+            arr = np.asarray(input_matrix[net], dtype=np.uint8)
+            if n_patterns is None:
+                n_patterns = arr.shape[0]
+            elif arr.shape[0] != n_patterns:
+                raise NetlistError("pattern columns have inconsistent lengths")
+            values[net] = arr
+
+        const_shape = n_patterns if n_patterns is not None else 1
+        for gate in self._order:
+            if gate.gtype is GateType.CONST0:
+                values[gate.output] = np.zeros(const_shape, dtype=np.uint8)
+            elif gate.gtype is GateType.CONST1:
+                values[gate.output] = np.ones(const_shape, dtype=np.uint8)
+            else:
+                operands = [values[n] for n in gate.inputs]
+                values[gate.output] = evaluate_gate_vec(gate.gtype, operands)
+        return values
+
+
+def evaluate_many(
+    netlist: Netlist, input_matrix: Mapping[str, np.ndarray]
+) -> dict[str, np.ndarray]:
+    """One-shot vectorised evaluation (see CombinationalSimulator.run_many)."""
+    return CombinationalSimulator(netlist).run_many(input_matrix)

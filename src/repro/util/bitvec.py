@@ -1,0 +1,84 @@
+"""Bit-vector helpers.
+
+Throughout the library a *bit vector* is a plain ``list[int]`` whose
+elements are 0 or 1.  Index 0 is, by convention, the least significant bit
+when converting to and from integers, and the first-shifted bit when the
+vector describes a scan stream.  Keeping the representation this simple
+makes every module (simulator, SAT encoder, LFSR) interoperable without
+adapter layers; numpy arrays are used only inside the vectorised simulator.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Sequence
+
+
+def bits_from_int(value: int, width: int) -> list[int]:
+    """Expand ``value`` into ``width`` bits, LSB first.
+
+    >>> bits_from_int(6, 4)
+    [0, 1, 1, 0]
+    """
+    if value < 0:
+        raise ValueError("value must be non-negative")
+    if width < 0:
+        raise ValueError("width must be non-negative")
+    if value >> width:
+        raise ValueError(f"value {value} does not fit in {width} bits")
+    return [(value >> i) & 1 for i in range(width)]
+
+
+def bits_to_int(bits: Sequence[int]) -> int:
+    """Pack a LSB-first bit sequence into an integer.
+
+    >>> bits_to_int([0, 1, 1, 0])
+    6
+    """
+    result = 0
+    for i, bit in enumerate(bits):
+        _check_bit(bit)
+        result |= (bit & 1) << i
+    return result
+
+
+def bits_from_str(text: str) -> list[int]:
+    """Parse a human-oriented bit string such as ``"0110"``.
+
+    The leftmost character becomes index 0.  Underscores are ignored so
+    long constants can be grouped: ``"1010_1100"``.
+    """
+    bits = []
+    for ch in text:
+        if ch == "_":
+            continue
+        if ch not in "01":
+            raise ValueError(f"invalid bit character {ch!r} in {text!r}")
+        bits.append(int(ch))
+    return bits
+
+
+def bits_to_str(bits: Sequence[int]) -> str:
+    """Render a bit vector with index 0 leftmost (inverse of bits_from_str)."""
+    for bit in bits:
+        _check_bit(bit)
+    return "".join("1" if b else "0" for b in bits)
+
+
+def parity(bits: Iterable[int]) -> int:
+    """XOR-reduce a bit iterable (GF(2) sum)."""
+    acc = 0
+    for bit in bits:
+        _check_bit(bit)
+        acc ^= bit
+    return acc
+
+
+def random_bits(width: int, rng: random.Random) -> list[int]:
+    """Draw ``width`` uniform bits from ``rng``."""
+    return [rng.randrange(2) for _ in range(width)]
+
+
+def _check_bit(bit: int) -> None:
+    if bit not in (0, 1):
+        raise ValueError(f"bit values must be 0 or 1, got {bit!r}")

@@ -1,0 +1,51 @@
+"""Wall-clock measurement used by the attack drivers and benches."""
+
+from __future__ import annotations
+
+import time
+
+
+class Stopwatch:
+    """Accumulating stopwatch with named laps.
+
+    The attack reports both total execution time (paper Tables II/III) and
+    a per-phase breakdown (modeling, SAT solving, refinement), which this
+    class collects without cluttering the algorithm code.
+    """
+
+    def __init__(self) -> None:
+        self._start: float | None = None
+        self.total: float = 0.0
+        self.laps: dict[str, float] = {}
+
+    def start(self) -> "Stopwatch":
+        self._start = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        if self._start is None:
+            raise RuntimeError("stopwatch was not started")
+        self.total += time.perf_counter() - self._start
+        self._start = None
+        return self.total
+
+    def lap(self, name: str):
+        """Context manager measuring one named phase."""
+        return _Lap(self, name)
+
+    def add_lap(self, name: str, seconds: float) -> None:
+        self.laps[name] = self.laps.get(name, 0.0) + seconds
+
+
+class _Lap:
+    def __init__(self, watch: Stopwatch, name: str):
+        self._watch = watch
+        self._name = name
+        self._t0 = 0.0
+
+    def __enter__(self) -> "_Lap":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._watch.add_lap(self._name, time.perf_counter() - self._t0)

@@ -1,0 +1,67 @@
+"""Tests for the AppSAT approximate attack."""
+
+import random
+
+from repro.attack.appsat import AppSat, AppSatConfig
+from repro.bench_suite.generator import GeneratorConfig, generate_circuit
+from repro.locking.rll import lock_combinational_rll
+from repro.netlist.transform import extract_combinational_core
+from repro.sim.logicsim import CombinationalSimulator
+from repro.util.bitvec import random_bits
+
+
+def make_case(seed: int, key_bits: int = 5):
+    rng = random.Random(seed)
+    config = GeneratorConfig(n_flops=5, n_inputs=5, n_outputs=4)
+    core, _, _ = extract_combinational_core(
+        generate_circuit(config, rng, name=f"app{seed}")
+    )
+    lock = lock_combinational_rll(core, key_bits=key_bits, rng=rng)
+    oracle_sim = CombinationalSimulator(core)
+    x_inputs = [n for n in lock.locked.inputs if n not in set(lock.key_inputs)]
+
+    def oracle_fn(x_bits):
+        values = oracle_sim.run(dict(zip(x_inputs, x_bits)))
+        return [values[n] for n in core.outputs]
+
+    return core, lock, oracle_fn, x_inputs
+
+
+class TestAppSat:
+    def test_terminates_with_low_error_key(self):
+        core, lock, oracle_fn, x_inputs = make_case(1)
+        result = AppSat(lock.locked, lock.key_inputs, oracle_fn).run()
+        assert result.key is not None
+        assert result.exact_convergence or result.early_exit
+        # Measure the real error of the returned key on fresh samples.
+        rng = random.Random(99)
+        locked_sim = CombinationalSimulator(lock.locked)
+        errors = 0
+        for _ in range(50):
+            x_bits = random_bits(len(x_inputs), rng)
+            inputs = dict(zip(x_inputs, x_bits))
+            inputs.update(zip(lock.key_inputs, result.key))
+            values = locked_sim.run(inputs)
+            if [values[n] for n in lock.locked.outputs] != oracle_fn(x_bits):
+                errors += 1
+        assert errors / 50 <= 0.1
+
+    def test_early_exit_can_precede_exact_convergence(self):
+        """With aggressive sampling settings AppSAT may stop early; either
+        way the loop ends and reports which exit fired."""
+        core, lock, oracle_fn, _ = make_case(2)
+        config = AppSatConfig(sample_interval=1, samples_per_round=8,
+                              settle_rounds=1)
+        result = AppSat(lock.locked, lock.key_inputs, oracle_fn, config).run()
+        assert result.key is not None
+        assert result.exact_convergence != result.early_exit or (
+            result.exact_convergence and not result.early_exit
+        )
+
+    def test_sampling_counts_reported(self):
+        core, lock, oracle_fn, _ = make_case(3)
+        config = AppSatConfig(sample_interval=1, samples_per_round=4)
+        result = AppSat(lock.locked, lock.key_inputs, oracle_fn, config).run()
+        if result.early_exit:
+            assert result.sampled_queries >= 4
+        assert result.iterations >= 0

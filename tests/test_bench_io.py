@@ -1,0 +1,75 @@
+"""Tests for ISCAS-89 .bench parsing and serialisation."""
+
+import pytest
+
+from repro.bench_suite.iscas import S27_BENCH, s27_netlist
+from repro.netlist.bench_io import parse_bench, write_bench
+from repro.netlist.gates import GateType
+from repro.netlist.netlist import NetlistError
+from repro.netlist.validate import validate_netlist
+
+
+class TestParse:
+    def test_s27_shape(self):
+        netlist = s27_netlist()
+        assert len(netlist.inputs) == 4
+        assert len(netlist.outputs) == 1
+        assert netlist.n_dffs == 3
+        assert netlist.n_gates == 10
+
+    def test_s27_validates(self):
+        report = validate_netlist(s27_netlist())
+        assert report["gates"] == 10
+
+    def test_comments_and_blank_lines_ignored(self):
+        netlist = parse_bench("# hello\n\nINPUT(a)\nOUTPUT(y)\ny = NOT(a)\n")
+        assert netlist.inputs == ["a"]
+        assert netlist.gates["y"].gtype == GateType.NOT
+
+    def test_inline_comment(self):
+        netlist = parse_bench("INPUT(a) # the input\nOUTPUT(y)\ny = BUFF(a)")
+        assert netlist.inputs == ["a"]
+
+    def test_case_insensitive_keywords(self):
+        netlist = parse_bench("input(a)\noutput(y)\ny = nand(a, a)")
+        assert netlist.gates["y"].gtype == GateType.NAND
+
+    def test_dff(self):
+        netlist = parse_bench("INPUT(a)\nq = DFF(a)")
+        assert netlist.dffs["q"].d == "a"
+
+    def test_dff_wrong_arity(self):
+        with pytest.raises(NetlistError):
+            parse_bench("INPUT(a)\nq = DFF(a, a)")
+
+    def test_unknown_gate(self):
+        with pytest.raises(NetlistError):
+            parse_bench("INPUT(a)\ny = FROB(a)")
+
+    def test_garbage_line(self):
+        with pytest.raises(NetlistError):
+            parse_bench("INPUT(a)\nthis is not a gate")
+
+    def test_multi_input_gate(self):
+        netlist = parse_bench("INPUT(a)\nINPUT(b)\nINPUT(c)\ny = AND(a, b, c)")
+        assert netlist.gates["y"].inputs == ("a", "b", "c")
+
+
+class TestRoundTrip:
+    def test_s27_roundtrip(self):
+        original = s27_netlist()
+        reparsed = parse_bench(write_bench(original), name="s27")
+        assert reparsed.inputs == original.inputs
+        assert reparsed.outputs == original.outputs
+        assert set(reparsed.gates) == set(original.gates)
+        for net, gate in original.gates.items():
+            assert reparsed.gates[net].gtype == gate.gtype
+            assert reparsed.gates[net].inputs == gate.inputs
+        assert {q: d.d for q, d in reparsed.dffs.items()} == {
+            q: d.d for q, d in original.dffs.items()
+        }
+
+    def test_s27_source_is_parseable_twice(self):
+        assert write_bench(parse_bench(S27_BENCH, name="s27")) == write_bench(
+            s27_netlist()
+        )

@@ -1,0 +1,130 @@
+"""Tests for the synthetic benchmark generator and the registry."""
+
+import random
+
+import pytest
+
+from repro.bench_suite.generator import GeneratorConfig, generate_circuit
+from repro.bench_suite.iscas import s27_netlist, s208_like_netlist
+from repro.bench_suite.registry import (
+    PAPER_BENCHMARKS,
+    TABLE2_BENCHMARKS,
+    TABLE3_BENCHMARKS,
+    build_benchmark_netlist,
+    get_benchmark,
+)
+from repro.netlist.bench_io import write_bench
+from repro.netlist.validate import validate_netlist
+from repro.sim.seqsim import SequentialSimulator
+from repro.util.bitvec import random_bits
+
+
+class TestGeneratorConfig:
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            GeneratorConfig(n_flops=0)
+        with pytest.raises(ValueError):
+            GeneratorConfig(n_flops=4, n_inputs=0)
+        with pytest.raises(ValueError):
+            GeneratorConfig(n_flops=4, gates_per_flop=0)
+        with pytest.raises(ValueError):
+            GeneratorConfig(n_flops=4, max_fanin=1)
+        with pytest.raises(ValueError):
+            GeneratorConfig(n_flops=4, n_outputs=-1)
+
+
+class TestGenerator:
+    def test_shape_matches_config(self):
+        config = GeneratorConfig(n_flops=17, n_inputs=6, n_outputs=9)
+        netlist = generate_circuit(config, random.Random(1), name="g")
+        assert netlist.n_dffs == 17
+        assert len(netlist.inputs) == 6
+        assert len(netlist.outputs) == 9
+
+    def test_structurally_valid(self):
+        config = GeneratorConfig(n_flops=25, n_inputs=8, n_outputs=8)
+        netlist = generate_circuit(config, random.Random(2), name="g")
+        validate_netlist(netlist)
+
+    def test_deterministic(self):
+        config = GeneratorConfig(n_flops=9, n_inputs=4, n_outputs=4)
+        a = generate_circuit(config, random.Random(5), name="g")
+        b = generate_circuit(config, random.Random(5), name="g")
+        assert write_bench(a) == write_bench(b)
+
+    def test_different_seeds_differ(self):
+        config = GeneratorConfig(n_flops=9, n_inputs=4, n_outputs=4)
+        a = generate_circuit(config, random.Random(5), name="g")
+        b = generate_circuit(config, random.Random(6), name="g")
+        assert write_bench(a) != write_bench(b)
+
+    def test_state_actually_evolves(self):
+        """The next-state function must not be constant (capture matters)."""
+        config = GeneratorConfig(n_flops=10, n_inputs=4, n_outputs=4)
+        netlist = generate_circuit(config, random.Random(7), name="g")
+        sim = SequentialSimulator(netlist)
+        rng = random.Random(8)
+        states = set()
+        for _ in range(20):
+            sim.step(dict(zip(netlist.inputs, random_bits(4, rng))))
+            states.add(tuple(sim.get_state_vector()))
+        assert len(states) > 2
+
+
+class TestEmbeddedCircuits:
+    def test_s27_is_genuine_shape(self):
+        netlist = s27_netlist()
+        assert (len(netlist.inputs), len(netlist.outputs), netlist.n_dffs) == (
+            4, 1, 3,
+        )
+
+    def test_s208_like_has_8_flops(self):
+        netlist = s208_like_netlist()
+        assert netlist.n_dffs == 8
+        validate_netlist(netlist)
+
+    def test_s208_like_is_deterministic(self):
+        assert write_bench(s208_like_netlist()) == write_bench(
+            s208_like_netlist()
+        )
+
+
+class TestRegistry:
+    def test_paper_flop_counts(self):
+        """Column 2 of the paper's Table II, verbatim."""
+        expected = {
+            "s5378": 160, "s13207": 202, "s15850": 442, "s38584": 1233,
+            "s38417": 1564, "s35932": 1728, "b20": 429, "b21": 429,
+            "b22": 611, "b17": 864,
+        }
+        for name, flops in expected.items():
+            assert PAPER_BENCHMARKS[name].n_scan_flops == flops
+
+    def test_table_lists(self):
+        assert len(TABLE2_BENCHMARKS) == 10
+        assert TABLE3_BENCHMARKS == ["s38584", "s38417", "s35932"]
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(KeyError):
+            get_benchmark("s9999")
+
+    def test_scale_divides_flops(self):
+        netlist = build_benchmark_netlist("s35932", scale=8)
+        assert netlist.n_dffs == 1728 // 8
+
+    def test_scale_floor(self):
+        netlist = build_benchmark_netlist("s5378", scale=100)
+        assert netlist.n_dffs == 16  # floor so circuits stay meaningful
+
+    def test_full_scale_matches_paper(self):
+        netlist = build_benchmark_netlist("s13207", scale=1)
+        assert netlist.n_dffs == 202
+
+    def test_deterministic_per_name_and_scale(self):
+        a = build_benchmark_netlist("b17", scale=16)
+        b = build_benchmark_netlist("b17", scale=16)
+        assert write_bench(a) == write_bench(b)
+
+    def test_bad_scale(self):
+        with pytest.raises(ValueError):
+            get_benchmark("b17").generator_config(scale=0)

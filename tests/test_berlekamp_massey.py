@@ -1,0 +1,88 @@
+"""Tests for Berlekamp-Massey LFSR recovery."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.prng.berlekamp_massey import (
+    LfsrDescription,
+    berlekamp_massey,
+    recover_fibonacci_taps,
+)
+from repro.prng.lfsr import FibonacciLfsr, Keystream
+from repro.prng.polynomials import default_taps
+from repro.util.bitvec import random_bits
+
+
+def lfsr_output_stream(width: int, seed, taps, n_bits: int) -> list[int]:
+    """The new-bit sequence of our Fibonacci LFSR (state bit 0)."""
+    lfsr = FibonacciLfsr(width=width, seed_bits=seed, taps=taps)
+    return [lfsr.advance()[0] for _ in range(n_bits)]
+
+
+class TestBerlekampMassey:
+    def test_all_zero_sequence(self):
+        result = berlekamp_massey([0] * 16)
+        assert result.length == 0
+
+    def test_alternating_sequence(self):
+        result = berlekamp_massey([1, 0, 1, 0, 1, 0, 1, 0])
+        assert result.length <= 2
+        assert result.extend([1, 0], 4) == [1, 0, 1, 0]
+
+    @pytest.mark.parametrize("width", [3, 5, 8, 11, 16])
+    def test_recovers_lfsr_length_and_prediction(self, width):
+        rng = random.Random(width)
+        taps = default_taps(width)
+        seed = random_bits(width, rng)
+        while not any(seed):
+            seed = random_bits(width, rng)
+        stream = lfsr_output_stream(width, seed, taps, 4 * width)
+        result = berlekamp_massey(stream)
+        assert result.length <= width
+        # The recovered recurrence must predict the rest of the stream.
+        hold_out = lfsr_output_stream(width, seed, taps, 6 * width)
+        prefix, suffix = hold_out[: 4 * width], hold_out[4 * width:]
+        assert result.extend(prefix, len(suffix)) == suffix
+
+    @pytest.mark.parametrize("width", [4, 7, 10])
+    def test_recovered_taps_rebuild_equivalent_keystream(self, width):
+        """recover_fibonacci_taps + FibonacciLfsr reproduce the stream."""
+        rng = random.Random(width * 3)
+        taps = default_taps(width)
+        seed = random_bits(width, rng)
+        while not any(seed):
+            seed = random_bits(width, rng)
+        stream = lfsr_output_stream(width, seed, taps, 6 * width)
+        described = berlekamp_massey(stream[: 4 * width])
+        if described.length != width:
+            pytest.skip("degenerate seed hit a shorter cycle")
+        rec_taps = recover_fibonacci_taps(described)
+        assert rec_taps == tuple(taps)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=1), min_size=4,
+                    max_size=40))
+    def test_minimality_property(self, bits):
+        """BM's register always regenerates its own input sequence."""
+        result = berlekamp_massey(bits)
+        if result.length == 0:
+            assert all(b == 0 for b in bits)
+            return
+        if result.length >= len(bits):
+            return  # not enough data to check prediction
+        prefix = bits[: result.length]
+        assert result.extend(prefix, len(bits) - result.length) == bits[
+            result.length:
+        ]
+
+    def test_recover_taps_width_check(self):
+        description = LfsrDescription(length=4, connection_poly=(1, 0, 0, 1, 1))
+        with pytest.raises(ValueError):
+            recover_fibonacci_taps(description, width=3)
+
+    def test_predict_next_requires_history(self):
+        description = LfsrDescription(length=3, connection_poly=(1, 1, 0, 1))
+        with pytest.raises(ValueError):
+            description.predict_next([1, 0])

@@ -1,0 +1,52 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_attack_options(self):
+        args = build_parser().parse_args(
+            ["attack", "s5378", "--key-bits", "8", "--lock-seed", "3"]
+        )
+        assert args.benchmark == "s5378"
+        assert args.key_bits == 8
+        assert args.lock_seed == 3
+
+    def test_profile_choice_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table2", "--profile", "huge"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "s35932" in out and "b17" in out
+
+    def test_info(self, capsys):
+        assert main(["info", "s5378", "--scale", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "paper flops  : 160" in out
+
+    def test_selftest(self, capsys):
+        assert main(["selftest"]) == 0
+        assert "success=True" in capsys.readouterr().out
+
+    def test_attack_small(self, capsys):
+        code = main(
+            ["attack", "s5378", "--scale", "64", "--key-bits", "4",
+             "--timeout", "120"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "success          : True" in out
+
+    def test_unknown_benchmark_raises(self):
+        with pytest.raises(KeyError):
+            main(["info", "nope"])

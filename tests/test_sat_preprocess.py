@@ -1,0 +1,107 @@
+"""Tests for the CNF preprocessing passes."""
+
+import itertools
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sat.cnf import Cnf
+from repro.sat.preprocess import preprocess
+from repro.sat.solver import CdclSolver
+
+
+class TestUnitPropagation:
+    def test_chain_of_units(self):
+        cnf = Cnf()
+        cnf.add_clause([1])
+        cnf.add_clause([-1, 2])
+        cnf.add_clause([-2, 3])
+        result = preprocess(cnf)
+        assert result.forced == {1: 1, 2: 1, 3: 1}
+        assert not result.unsatisfiable
+        assert result.simplified.n_clauses == 0
+
+    def test_conflict_detected(self):
+        cnf = Cnf()
+        cnf.add_clause([1])
+        cnf.add_clause([-1])
+        result = preprocess(cnf)
+        assert result.unsatisfiable
+
+    def test_derived_conflict(self):
+        cnf = Cnf()
+        cnf.add_clause([1])
+        cnf.add_clause([-1, 2])
+        cnf.add_clause([-2])
+        assert preprocess(cnf).unsatisfiable
+
+
+class TestCleanup:
+    def test_tautology_removed(self):
+        cnf = Cnf()
+        cnf.add_clause([1, -1, 2])
+        result = preprocess(cnf)
+        assert result.removed_tautologies == 1
+
+    def test_duplicates_removed(self):
+        cnf = Cnf()
+        cnf.add_clause([1, 2])
+        cnf.add_clause([2, 1])
+        result = preprocess(cnf)
+        assert result.removed_duplicates == 1
+        assert result.simplified.n_clauses <= 1
+
+    def test_pure_literals_reported_separately(self):
+        cnf = Cnf()
+        cnf.add_clause([1, 2])
+        cnf.add_clause([1, 3])
+        result = preprocess(cnf)
+        # Var 1 only occurs positively: chosen true, clauses vanish.
+        assert result.eliminated_pure.get(1) == 1
+        assert 1 not in result.forced
+
+    def test_pure_literals_can_be_disabled(self):
+        cnf = Cnf()
+        cnf.add_clause([1, 2])
+        result = preprocess(cnf, pure_literals=False)
+        assert result.eliminated_pure == {}
+        assert result.simplified.n_clauses == 1
+
+
+class TestEquisatisfiability:
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    def test_preprocess_preserves_satisfiability(self, seed):
+        rng = random.Random(seed)
+        n_vars = rng.randint(2, 8)
+        cnf = Cnf(n_vars)
+        for _ in range(rng.randint(1, 25)):
+            width = rng.randint(1, min(3, n_vars))
+            chosen = rng.sample(range(1, n_vars + 1), width)
+            cnf.add_clause(
+                [v if rng.random() < 0.5 else -v for v in chosen]
+            )
+        original = CdclSolver(cnf).solve().satisfiable
+        result = preprocess(cnf)
+        if result.unsatisfiable:
+            assert original is False
+        else:
+            # Forced assignments + simplified clauses must be jointly
+            # satisfiable exactly when the original is.
+            solver = CdclSolver(result.simplified)
+            for var, value in result.forced.items():
+                solver.add_clause([var if value else -var])
+            assert solver.solve().satisfiable is original
+
+    def test_forced_assignments_are_consequences(self):
+        """Every forced var must hold in every model of the original."""
+        cnf = Cnf()
+        cnf.add_clause([1])
+        cnf.add_clause([-1, 2])
+        cnf.add_clause([3, 4])
+        result = preprocess(cnf)
+        for bits in itertools.product([0, 1], repeat=4):
+            assignment = [0] + list(bits)
+            if cnf.evaluate(assignment):
+                for var, value in result.forced.items():
+                    assert assignment[var] == value

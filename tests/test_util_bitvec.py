@@ -1,0 +1,99 @@
+"""Unit tests for repro.util.bitvec."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.bitvec import (
+    bits_from_int,
+    bits_from_str,
+    bits_to_int,
+    bits_to_str,
+    parity,
+    random_bits,
+)
+
+
+class TestBitsFromInt:
+    def test_basic(self):
+        assert bits_from_int(6, 4) == [0, 1, 1, 0]
+
+    def test_zero_width(self):
+        assert bits_from_int(0, 0) == []
+
+    def test_all_ones(self):
+        assert bits_from_int(15, 4) == [1, 1, 1, 1]
+
+    def test_value_too_large(self):
+        with pytest.raises(ValueError):
+            bits_from_int(16, 4)
+
+    def test_negative_value(self):
+        with pytest.raises(ValueError):
+            bits_from_int(-1, 4)
+
+    def test_negative_width(self):
+        with pytest.raises(ValueError):
+            bits_from_int(0, -1)
+
+
+class TestBitsToInt:
+    def test_basic(self):
+        assert bits_to_int([0, 1, 1, 0]) == 6
+
+    def test_empty(self):
+        assert bits_to_int([]) == 0
+
+    def test_rejects_non_bits(self):
+        with pytest.raises(ValueError):
+            bits_to_int([0, 2, 1])
+
+    @given(st.integers(min_value=0, max_value=2**63 - 1))
+    def test_roundtrip(self, value):
+        width = max(1, value.bit_length())
+        assert bits_to_int(bits_from_int(value, width)) == value
+
+
+class TestBitStrings:
+    def test_parse(self):
+        assert bits_from_str("0110") == [0, 1, 1, 0]
+
+    def test_parse_with_underscores(self):
+        assert bits_from_str("10_10") == [1, 0, 1, 0]
+
+    def test_parse_rejects_other_chars(self):
+        with pytest.raises(ValueError):
+            bits_from_str("01x0")
+
+    def test_render(self):
+        assert bits_to_str([1, 0, 1]) == "101"
+
+    @given(st.lists(st.integers(min_value=0, max_value=1), max_size=64))
+    def test_roundtrip(self, bits):
+        assert bits_from_str(bits_to_str(bits)) == bits
+
+
+class TestParity:
+    def test_even(self):
+        assert parity([1, 1, 0]) == 0
+
+    def test_odd(self):
+        assert parity([1, 1, 1]) == 1
+
+    def test_empty(self):
+        assert parity([]) == 0
+
+    @given(st.lists(st.integers(min_value=0, max_value=1), max_size=100))
+    def test_matches_sum_mod2(self, bits):
+        assert parity(bits) == sum(bits) % 2
+
+
+class TestRandomBits:
+    def test_length_and_range(self):
+        bits = random_bits(100, random.Random(3))
+        assert len(bits) == 100
+        assert set(bits) <= {0, 1}
+
+    def test_deterministic(self):
+        assert random_bits(32, random.Random(5)) == random_bits(32, random.Random(5))

@@ -1,0 +1,47 @@
+"""Tests for the stopwatch utility."""
+
+import time
+
+import pytest
+
+from repro.util.timing import Stopwatch
+
+
+class TestStopwatch:
+    def test_measures_elapsed_time(self):
+        watch = Stopwatch().start()
+        time.sleep(0.01)
+        total = watch.stop()
+        assert total >= 0.01
+
+    def test_stop_without_start(self):
+        with pytest.raises(RuntimeError):
+            Stopwatch().stop()
+
+    def test_accumulates_across_sessions(self):
+        watch = Stopwatch()
+        watch.start()
+        time.sleep(0.005)
+        first = watch.stop()
+        watch.start()
+        time.sleep(0.005)
+        second = watch.stop()
+        assert second > first
+
+    def test_laps_accumulate_by_name(self):
+        watch = Stopwatch()
+        with watch.lap("phase"):
+            time.sleep(0.005)
+        with watch.lap("phase"):
+            time.sleep(0.005)
+        with watch.lap("other"):
+            pass
+        assert watch.laps["phase"] >= 0.01
+        assert "other" in watch.laps
+
+    def test_lap_records_even_on_exception(self):
+        watch = Stopwatch()
+        with pytest.raises(ValueError):
+            with watch.lap("boom"):
+                raise ValueError("x")
+        assert "boom" in watch.laps

@@ -1,0 +1,117 @@
+"""Tests for the structural Verilog export/import subset."""
+
+import random
+
+import pytest
+
+from repro.bench_suite.generator import GeneratorConfig, generate_circuit
+from repro.bench_suite.iscas import s27_netlist
+from repro.netlist.gates import GateType
+from repro.netlist.netlist import Netlist, NetlistError
+from repro.netlist.validate import validate_netlist
+from repro.netlist.verilog_io import parse_verilog, write_verilog
+from repro.sim.logicsim import evaluate
+from repro.sim.seqsim import SequentialSimulator
+from repro.util.bitvec import random_bits
+
+
+def roundtrip(netlist: Netlist) -> Netlist:
+    return parse_verilog(write_verilog(netlist))
+
+
+class TestWrite:
+    def test_module_header(self):
+        text = write_verilog(s27_netlist())
+        assert text.startswith("// generated")
+        assert "module s27 (clk, G0" in text
+        assert text.rstrip().endswith("endmodule")
+
+    def test_combinational_has_no_clock_port(self):
+        netlist = Netlist("c")
+        netlist.add_input("a")
+        netlist.add_gate("y", GateType.NOT, ["a"])
+        netlist.add_output("y")
+        text = write_verilog(netlist)
+        assert "module c (a, y);" in text
+        assert "clk" not in text
+
+    def test_special_net_names_escaped(self):
+        netlist = Netlist("e")
+        netlist.add_input("a")
+        netlist.add_gate("c0::weird", GateType.BUF, ["a"])
+        netlist.add_output("c0::weird")
+        text = write_verilog(netlist)
+        assert "\\c0::weird " in text
+
+
+class TestRoundTrip:
+    def test_s27_roundtrip_structure(self):
+        original = s27_netlist()
+        parsed = roundtrip(original)
+        assert set(parsed.inputs) == set(original.inputs)
+        assert set(parsed.outputs) == set(original.outputs)
+        assert set(parsed.dffs) == set(original.dffs)
+        assert parsed.n_gates == original.n_gates
+        validate_netlist(parsed)
+
+    def test_s27_roundtrip_behaviour(self):
+        original = s27_netlist()
+        parsed = roundtrip(original)
+        rng = random.Random(3)
+        sim_a = SequentialSimulator(original)
+        sim_b = SequentialSimulator(parsed)
+        for _ in range(20):
+            inputs = dict(zip(original.inputs, random_bits(4, rng)))
+            assert sim_a.step(inputs)["G17"] == sim_b.step(inputs)["G17"]
+            assert sim_a.get_state_vector() == sim_b.get_state_vector()
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_synthetic_roundtrip_behaviour(self, seed):
+        rng = random.Random(seed)
+        config = GeneratorConfig(n_flops=6, n_inputs=4, n_outputs=3)
+        original = generate_circuit(config, rng, name=f"v{seed}")
+        parsed = roundtrip(original)
+        sim_a = SequentialSimulator(original)
+        sim_b = SequentialSimulator(parsed)
+        for _ in range(10):
+            inputs = dict(zip(original.inputs, random_bits(4, rng)))
+            va = sim_a.step(inputs)
+            vb = sim_b.step(inputs)
+            assert [va[n] for n in original.outputs] == [
+                vb[n] for n in parsed.outputs
+            ]
+
+    def test_mux_and_constants_roundtrip(self):
+        netlist = Netlist("m")
+        netlist.add_input("s")
+        netlist.add_input("a")
+        netlist.add_input("b")
+        netlist.add_gate("one", GateType.CONST1, [])
+        netlist.add_gate("zero", GateType.CONST0, [])
+        netlist.add_gate("y", GateType.MUX, ["s", "a", "b"])
+        netlist.add_gate("z", GateType.MUX, ["s", "one", "zero"])
+        netlist.add_output("y")
+        netlist.add_output("z")
+        parsed = roundtrip(netlist)
+        for s in (0, 1):
+            for a in (0, 1):
+                for b in (0, 1):
+                    bits = {"s": s, "a": a, "b": b}
+                    want = evaluate(netlist, bits)
+                    got = evaluate(parsed, bits)
+                    assert got["y"] == want["y"]
+                    assert got["z"] == want["z"]
+
+    def test_escaped_names_roundtrip(self):
+        netlist = Netlist("esc")
+        netlist.add_input("a")
+        netlist.add_gate("c0::ppi_0", GateType.NOT, ["a"])
+        netlist.add_output("c0::ppi_0")
+        parsed = roundtrip(netlist)
+        assert "c0::ppi_0" in parsed.outputs
+
+
+class TestParseErrors:
+    def test_missing_module(self):
+        with pytest.raises(NetlistError):
+            parse_verilog("wire x;")
