@@ -1,0 +1,21 @@
+# Convenience wrappers around the test and bench suites.
+#
+#   make verify   - tier-1 verification: tests/ + benchmarks/ minus `slow`
+#   make bench    - the slow paper-table regenerations (quick profile)
+#   make test-all - everything, slow included
+#
+# REPRO_PROFILE=quick|full|paper scales the bench instances (default quick).
+
+PYTHON ?= python
+PYTEST = PYTHONPATH=src $(PYTHON) -m pytest
+
+.PHONY: verify bench test-all
+
+verify:
+	$(PYTEST) -x -q
+
+bench:
+	$(PYTEST) benchmarks -m slow -q -s
+
+test-all:
+	$(PYTEST) -m "slow or not slow" -q

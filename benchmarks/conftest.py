@@ -4,13 +4,29 @@ Profiles: set ``REPRO_PROFILE=quick|full|paper`` (default quick).  Every
 bench prints the paper-style row(s) it regenerates; run with ``-s`` to
 see them inline, and see EXPERIMENTS.md for the recorded comparison
 against the paper's numbers.
+
+Everything in this directory is auto-marked ``slow``: the paper-table
+regenerations take minutes even at the quick profile, so the default
+test invocation (``-m "not slow"``, see pyproject.toml) skips them.
+Run them with ``make bench`` or ``pytest benchmarks -m slow``.
 """
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import pytest
 
 from repro.reports.profiles import active_profile
+
+_BENCH_DIR = Path(__file__).resolve().parent
+
+
+def pytest_collection_modifyitems(items):
+    """Tag every test in this directory ``slow`` so tier-1 skips them."""
+    for item in items:
+        if _BENCH_DIR in Path(item.fspath).parents:
+            item.add_marker(pytest.mark.slow)
 
 
 @pytest.fixture(scope="session")

@@ -76,13 +76,7 @@ class AppSat:
         self._rng = random.Random(self.config.rng_seed)
 
     def _current_key(self) -> list[int] | None:
-        result = self._attack._solver.solve(
-            assumptions=[-self._attack._act_var]
-        )
-        if result.satisfiable is not True:
-            return None
-        assert result.model is not None
-        return [result.model[v] for v in self._attack._key_vars_a]
+        return self._attack.current_key()
 
     def _key_output(self, key: list[int], x_bits: list[int]) -> list[int]:
         inputs = dict(zip(self._attack.x_inputs, x_bits))
@@ -101,7 +95,7 @@ class AppSat:
             expected = self.oracle_fn(x_bits)
             if self._key_output(key, x_bits) != expected:
                 errors += 1
-                self._attack._add_dip_constraint(x_bits, list(expected))
+                self._attack.add_dip_constraint(x_bits, list(expected))
         return errors, self.config.samples_per_round
 
     def run(self) -> AppSatResult:
@@ -115,8 +109,8 @@ class AppSat:
         exact = False
 
         while iterations < cfg.max_iterations:
-            result = self._attack._solver.solve(
-                assumptions=[self._attack._act_var],
+            result = self._attack.solver.solve(
+                assumptions=[self._attack.act_var],
                 timeout_s=cfg.timeout_s,
             )
             if result.satisfiable is None:
@@ -125,10 +119,9 @@ class AppSat:
                 exact = True
                 break
             iterations += 1
-            assert result.model is not None
-            dip = [result.model[v] for v in self._attack._x_vars]
+            dip = self._attack.solver.values(self._attack.x_vars)
             response = self.oracle_fn(dip)
-            self._attack._add_dip_constraint(dip, list(response))
+            self._attack.add_dip_constraint(dip, list(response))
 
             if iterations % cfg.sample_interval == 0:
                 key = self._current_key()

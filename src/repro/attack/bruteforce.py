@@ -8,7 +8,10 @@ candidates whose *predicted* scrambled responses match.
 
 Prediction evaluates the combinational attack model with the candidate
 seed plugged into its key inputs -- the same artifact the SAT attack ran
-on, so no additional modeling code is trusted here.
+on, so no additional modeling code is trusted here.  Evaluation is
+bit-parallel: each surviving candidate occupies one packed lane, so a
+single pass of the :class:`repro.sim.logicsim.BitParallelSimulator`
+checks every candidate against one replayed pattern at once.
 """
 
 from __future__ import annotations
@@ -18,8 +21,8 @@ from dataclasses import dataclass
 from typing import Callable, Sequence
 
 from repro.core.modeling import CombinationalModel
-from repro.sim.logicsim import CombinationalSimulator
-from repro.util.bitvec import random_bits
+from repro.sim.logicsim import BitParallelSimulator, broadcast_inputs
+from repro.util.bitvec import broadcast_bit, lane_mask, pack_lanes, random_bits
 
 
 @dataclass
@@ -31,6 +34,7 @@ class RefinementResult:
 
     @property
     def unique(self) -> bool:
+        """True when exactly one candidate survived."""
         return len(self.survivors) == 1
 
 
@@ -48,8 +52,12 @@ def refine_candidates_by_replay(
     bits in the model's output order (scan-out by position, then POs).
     Candidates that mispredict any replayed pattern are eliminated.  With
     ``stop_at_one`` the loop ends as soon as a single survivor remains.
+
+    Per pattern, the scan-in/PI bits are broadcast across all candidate
+    lanes and the candidate seeds are column-packed into the key inputs,
+    so the whole candidate set is simulated in one bit-parallel pass.
     """
-    sim = CombinationalSimulator(model.netlist)
+    sim = BitParallelSimulator(model.netlist)
     survivors = [list(c) for c in candidates]
     n_a = len(model.a_inputs)
     n_pi = len(model.pi_inputs)
@@ -60,19 +68,27 @@ def refine_candidates_by_replay(
             break
         scan_in = random_bits(n_a, rng)
         pi = random_bits(n_pi, rng)
-        observed = oracle_query(scan_in, pi)
+        observed = list(oracle_query(scan_in, pi))
+        if len(observed) != len(model.observed_outputs):
+            raise ValueError("oracle returned wrong number of output bits")
         patterns_used += 1
 
-        still_alive: list[list[int]] = []
-        for seed in survivors:
-            inputs = dict(zip(model.a_inputs, scan_in))
-            inputs.update(zip(model.pi_inputs, pi))
-            inputs.update(zip(model.key_inputs, seed))
-            values = sim.run(inputs)
-            predicted = [values[net] for net in model.observed_outputs]
-            if predicted == list(observed):
-                still_alive.append(seed)
-        survivors = still_alive
+        n_lanes = len(survivors)
+        packed = broadcast_inputs(model.a_inputs, scan_in, n_lanes)
+        packed.update(broadcast_inputs(model.pi_inputs, pi, n_lanes))
+        packed.update(zip(model.key_inputs, pack_lanes(survivors)))
+
+        values = sim.run_packed(packed, n_lanes)
+        mismatch = 0
+        for net, bit in zip(model.observed_outputs, observed):
+            mismatch |= values[net] ^ broadcast_bit(bit, n_lanes)
+            if mismatch == lane_mask(n_lanes):
+                break  # every remaining lane already mispredicts
+        survivors = [
+            seed
+            for lane, seed in enumerate(survivors)
+            if not (mismatch >> lane) & 1
+        ]
 
     return RefinementResult(
         survivors=survivors,

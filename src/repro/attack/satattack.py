@@ -14,21 +14,27 @@ iterates:
    the accumulated constraints is functionally correct on all inputs
    distinguished so far, and no further DIP exists.
 
-The miter clause carries an activation literal so the same incremental
-solver can afterwards enumerate the surviving key assignments (the
-paper's "seed candidates" when driven by DynUnlock).
+The whole loop runs in **one** :class:`repro.sat.IncrementalSolver`
+session: the miter CNF is built once from the cached Tseitin template of
+the locked netlist, each DIP stamps two more template copies plus unit
+constraints into the same solver, and learned clauses/variable
+activities persist across iterations.  The miter clause carries an
+activation literal so the same session can afterwards enumerate the
+surviving key assignments with the miter switched off (the paper's
+"seed candidates" when driven by DynUnlock).
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Sequence
 
 from repro.netlist.netlist import Netlist
 from repro.sat.enumerate import enumerate_models
-from repro.sat.solver import CdclSolver
-from repro.sat.tseitin import CircuitEncoder
+from repro.sat.incremental import IncrementalSolver
+from repro.sat.solver import SolverStats
+from repro.sat.tseitin import CircuitEncoder, encoding_for
 from repro.util.timing import Stopwatch
 
 OracleFn = Callable[[list[int]], list[int]]
@@ -67,12 +73,14 @@ class SatAttackResult:
     fixed_key_bits: dict[int, int]
     runtime_s: float
     stopwatch: Stopwatch = field(repr=False, default_factory=Stopwatch)
+    solver_stats: SolverStats = field(repr=False, default_factory=SolverStats)
 
     @property
     def n_candidates(self) -> int:
         return len(self.key_candidates)
 
     def unique_key(self) -> list[int] | None:
+        """The recovered key when the attack pinned down exactly one."""
         if self.converged and len(self.key_candidates) == 1:
             return self.key_candidates[0]
         return None
@@ -85,6 +93,13 @@ class SatAttack:
     remaining inputs form ``X`` in their original order, which is also the
     order ``oracle_fn`` receives bits in.  ``oracle_fn`` returns output
     bits in the netlist's output order.
+
+    The incremental session is exposed for callers that drive the loop
+    themselves (AppSAT, CNF dumping, probing): ``solver`` is the live
+    :class:`IncrementalSolver`, ``encoder`` the shared CNF namespace,
+    ``act_var`` the miter activation literal, and ``x_vars`` /
+    ``key_vars_a`` / ``key_vars_b`` the variable vectors of the shared
+    inputs and the two key copies.
     """
 
     def __init__(
@@ -105,37 +120,40 @@ class SatAttack:
         self.oracle_fn = oracle_fn
         self.config = config or SatAttackConfig()
 
-        self._encoder = CircuitEncoder()
-        self._solver = CdclSolver()
+        # Compile the locked circuit's Tseitin template once; every miter
+        # copy and every per-DIP constraint copy stamps from it.
+        self._template = encoding_for(locked)
+        self.encoder = CircuitEncoder()
+        self.solver = IncrementalSolver()
         self._copy_count = 0
         self._build_miter()
         # Seed information carried over from earlier attack rounds (the
         # paper's restart step) enters as unit clauses on both key copies.
         if fixed_key_bits:
             for index, value in sorted(fixed_key_bits.items()):
-                for var in (self._key_vars_a[index], self._key_vars_b[index]):
-                    self._solver.add_clause([var if value else -var])
+                for var in (self.key_vars_a[index], self.key_vars_b[index]):
+                    self.solver.add_clause([var if value else -var])
 
     # ------------------------------------------------------------------
     def _encode_copy(self, prefix: str, share_keys_with: str | None) -> dict[str, int]:
-        """Encode one circuit copy; key vars shared with a previous copy."""
+        """Stamp one circuit copy; key vars shared with a previous copy."""
         if share_keys_with is not None:
             for net in self.key_inputs:
-                shared_var = self._encoder.var_for(f"{share_keys_with}{net}")
-                self._encoder.alias(f"{prefix}{net}", shared_var)
-        return self._encoder.encode_netlist(self.locked, prefix=prefix)
+                shared_var = self.encoder.var_for(f"{share_keys_with}{net}")
+                self.encoder.alias(f"{prefix}{net}", shared_var)
+        return self.encoder.stamp(self._template, prefix=prefix)
 
     def _build_miter(self) -> None:
         # Shared X variables across the two miter copies.
         for net in self.x_inputs:
-            var = self._encoder.var_for(f"X::{net}")
-            self._encoder.alias(f"A::{net}", var)
-            self._encoder.alias(f"B::{net}", var)
+            var = self.encoder.var_for(f"X::{net}")
+            self.encoder.alias(f"A::{net}", var)
+            self.encoder.alias(f"B::{net}", var)
         map_a = self._encode_copy("A::", share_keys_with=None)
         map_b = self._encode_copy("B::", share_keys_with=None)
 
-        cnf = self._encoder.cnf
-        self._act_var = cnf.new_var()
+        cnf = self.encoder.cnf
+        self.act_var = cnf.new_var()
         diff_lits: list[int] = []
         for net in self.locked.outputs:
             ya, yb = map_a[net], map_b[net]
@@ -146,30 +164,32 @@ class SatAttack:
             cnf.add_clause([d, ya, -yb])
             cnf.add_clause([d, -ya, yb])
             diff_lits.append(d)
-        cnf.add_clause([-self._act_var] + diff_lits)
+        cnf.add_clause([-self.act_var] + diff_lits)
 
-        self._x_vars = [self._encoder.var_for(f"X::{net}") for net in self.x_inputs]
-        self._key_vars_a = [
-            self._encoder.var_for(f"A::{net}") for net in self.key_inputs
+        self.x_vars = [self.encoder.var_for(f"X::{net}") for net in self.x_inputs]
+        self.key_vars_a = [
+            self.encoder.var_for(f"A::{net}") for net in self.key_inputs
         ]
-        self._key_vars_b = [
-            self._encoder.var_for(f"B::{net}") for net in self.key_inputs
+        self.key_vars_b = [
+            self.encoder.var_for(f"B::{net}") for net in self.key_inputs
         ]
-        self._solver.add_cnf(cnf)
-        self._synced_clauses = cnf.n_clauses
+        self._synced_clauses = self.solver.absorb(cnf)
 
     def _sync_solver(self) -> None:
         """Push clauses added to the CNF since the last sync."""
-        cnf = self._encoder.cnf
-        while self._solver.n_vars < cnf.n_vars:
-            self._solver.new_var()
-        for clause in cnf.clauses[self._synced_clauses :]:
-            self._solver.add_clause(clause)
-        self._synced_clauses = cnf.n_clauses
+        self._synced_clauses = self.solver.absorb(
+            self.encoder.cnf, already_synced=self._synced_clauses
+        )
 
-    def _add_dip_constraint(self, dip: list[int], response: list[int]) -> None:
-        """Both key copies must reproduce the oracle response on this DIP."""
-        cnf = self._encoder.cnf
+    def add_dip_constraint(self, dip: list[int], response: list[int]) -> None:
+        """Both key copies must reproduce the oracle response on this DIP.
+
+        Stamps one fresh template copy per key side (keys shared with the
+        miter copies, everything else fresh) and pins its X inputs and
+        outputs to the observed pattern, then streams the new clauses
+        into the incremental session.
+        """
+        cnf = self.encoder.cnf
         for side in ("A", "B"):
             self._copy_count += 1
             prefix = f"{side}{self._copy_count}::"
@@ -182,8 +202,22 @@ class SatAttack:
                 cnf.add_clause([var if bit else -var])
         self._sync_solver()
 
+    def current_key(self, extra_assumptions: Sequence[int] = ()) -> list[int] | None:
+        """A key consistent with all constraints so far (miter disabled).
+
+        Returns the ``K_A`` assignment of any model of the accumulated
+        constraint formula, or None when no such key remains.
+        """
+        result = self.solver.solve(
+            assumptions=[-self.act_var, *extra_assumptions]
+        )
+        if result.satisfiable is not True:
+            return None
+        return self.solver.values(self.key_vars_a)
+
     # ------------------------------------------------------------------
     def run(self) -> SatAttackResult:
+        """Execute the DIP loop, then enumerate surviving key candidates."""
         cfg = self.config
         watch = Stopwatch().start()
         deadline = (
@@ -197,8 +231,8 @@ class SatAttack:
         while iteration < cfg.max_iterations:
             remaining = None if deadline is None else max(0.0, deadline - time.perf_counter())
             with watch.lap("solve_dip"):
-                result = self._solver.solve(
-                    assumptions=[self._act_var], timeout_s=remaining
+                result = self.solver.solve(
+                    assumptions=[self.act_var], timeout_s=remaining
                 )
             if result.satisfiable is None:
                 break  # budget exhausted
@@ -206,23 +240,22 @@ class SatAttack:
                 converged = True
                 break
             iteration += 1
-            assert result.model is not None
-            dip = [result.model[v] for v in self._x_vars]
+            dip = self.solver.values(self.x_vars)
             with watch.lap("oracle"):
                 response = self.oracle_fn(dip)
             if len(response) != len(self.locked.outputs):
                 raise ValueError("oracle returned wrong number of output bits")
             dips.append((dip, list(response)))
             with watch.lap("constrain"):
-                self._add_dip_constraint(dip, list(response))
+                self.add_dip_constraint(dip, list(response))
             if cfg.iteration_hook is not None:
                 cfg.iteration_hook(
                     IterationRecord(
                         iteration=iteration,
                         dip=dip,
                         response=list(response),
-                        n_clauses=self._encoder.cnf.n_clauses,
-                        n_vars=self._encoder.cnf.n_vars,
+                        n_clauses=self.encoder.cnf.n_clauses,
+                        n_vars=self.encoder.cnf.n_vars,
                         elapsed_s=time.perf_counter() - started,
                     )
                 )
@@ -230,14 +263,24 @@ class SatAttack:
         key_candidates: list[list[int]] = []
         exhausted = False
         if converged:
+            # Blocking clauses go into a retractable group so enumeration
+            # does not poison the session: current_key() and further
+            # solver use keep seeing every surviving candidate.  The
+            # activation variable must come from the shared CNF namespace
+            # — allocating it in the solver alone would let the next
+            # stamped copy reuse the same id for a circuit net.
+            block_group = self.encoder.cnf.new_var()
+            self._sync_solver()
             with watch.lap("enumerate"):
                 for model_bits in enumerate_models(
-                    self._solver,
-                    self._key_vars_a,
+                    self.solver,
+                    self.key_vars_a,
                     limit=cfg.candidate_limit,
-                    assumptions=[-self._act_var],
+                    assumptions=[-self.act_var, block_group],
+                    group=block_group,
                 ):
                     key_candidates.append(model_bits)
+            self.solver.release_group(block_group)
             exhausted = len(key_candidates) >= cfg.candidate_limit
 
         fixed: dict[int, int] = {}
@@ -257,4 +300,7 @@ class SatAttack:
             fixed_key_bits=fixed,
             runtime_s=watch.total,
             stopwatch=watch,
+            # Snapshot: the live session keeps mutating its stats object
+            # when the caller continues using it after run().
+            solver_stats=replace(self.solver.stats),
         )

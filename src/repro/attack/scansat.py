@@ -5,7 +5,10 @@ scramble as XOR overlays controlled directly by the (static) key and
 running the SAT attack -- Table I's first row.  DynUnlock generalises
 this to per-cycle dynamic keys; here the same project machinery is run in
 ``static`` mode, so the attack shares every line of modeling and SAT code
-with DynUnlock and differs only in what the key inputs mean.
+with DynUnlock and differs only in what the key inputs mean.  Like every
+driver built on :class:`repro.attack.satattack.SatAttack`, the DIP loop
+runs in one incremental solver session (miter encoded once, per-DIP
+clauses appended) and candidate refinement replays bit-parallel.
 """
 
 from __future__ import annotations

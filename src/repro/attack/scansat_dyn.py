@@ -8,7 +8,9 @@ freezes the key at the first LFSR update, ``T @ seed``.  The attack then
 runs the ``dos_restart`` model -- a *static* overlay whose key bits are
 the one-step-unrolled LFSR outputs -- and recovers the seed directly
 (the LFSR equations are part of the model, so candidates are seeds, not
-intermediate keys).
+intermediate keys).  The DIP loop inherits the incremental solver
+session from :class:`repro.attack.satattack.SatAttack`; refinement runs
+bit-parallel over the candidate lanes.
 """
 
 from __future__ import annotations

@@ -95,15 +95,15 @@ class CnfDumper:
         path: Path | None = None
         if self._dir is not None:
             path = self._dir / f"iteration_{record.iteration:04d}.cnf"
-            cnf = Cnf(self._attack._encoder.cnf.n_vars)
-            cnf.clauses = list(self._attack._encoder.cnf.clauses)
+            cnf = Cnf(self._attack.encoder.cnf.n_vars)
+            cnf.clauses = list(self._attack.encoder.cnf.clauses)
             cnf.save(path)
         revealed: dict[int, int] = {}
         if self._probe:
             revealed = probe_fixed_key_bits(
-                self._attack._solver,
-                self._attack._key_vars_a,
-                assumptions=[-self._attack._act_var],
+                self._attack.solver,
+                self._attack.key_vars_a,
+                assumptions=[-self._attack.act_var],
                 max_conflicts=self._probe_conflicts,
             )
         self.snapshots.append(

@@ -6,7 +6,9 @@ Pipeline per round:
    are the LFSR seed bits (:mod:`repro.core.modeling`).
 2. **SAT attack** — run the oracle-guided DIP loop until no
    distinguishing pattern remains (:mod:`repro.attack.satattack`); the
-   oracle is the physical chip queried through its obfuscated scan chain.
+   oracle is the physical chip queried through its obfuscated scan
+   chain.  The whole loop shares one incremental solver session per
+   round: the miter is encoded once and each DIP only appends clauses.
 3. **Enumerate** — extract every seed assignment still consistent with
    all DIP responses ("seed candidates", Tables II/III).
 4. **Restart** — if the candidate space is too large, rebuild the model
@@ -57,7 +59,12 @@ class DynUnlockConfig:
 
 @dataclass
 class RoundRecord:
-    """Diagnostics for one model/SAT-attack round."""
+    """Diagnostics for one model/SAT-attack round.
+
+    ``conflicts``/``learned_clauses`` come from the round's incremental
+    solver session and quantify how hard the SAT search actually was
+    (wall-clock alone conflates search with oracle latency).
+    """
 
     n_captures: int
     iterations: int
@@ -66,6 +73,8 @@ class RoundRecord:
     converged: bool
     fixed_bits_carried: int
     runtime_s: float
+    conflicts: int = 0
+    learned_clauses: int = 0
 
 
 @dataclass
@@ -167,6 +176,8 @@ class DynUnlock:
                     converged=sat_result.converged,
                     fixed_bits_carried=len(fixed_bits),
                     runtime_s=sat_result.runtime_s,
+                    conflicts=sat_result.solver_stats.conflicts,
+                    learned_clauses=sat_result.solver_stats.learned,
                 )
             )
             candidates = sat_result.key_candidates

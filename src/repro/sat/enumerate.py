@@ -19,13 +19,18 @@ def enumerate_models(
     limit: int = 1024,
     assumptions: Sequence[int] = (),
     max_conflicts_per_model: int | None = None,
+    group: int | None = None,
 ) -> Iterator[list[int]]:
     """Yield distinct assignments to ``project_vars`` (bit lists).
 
-    Mutates the solver by adding blocking clauses: after enumeration the
-    solver excludes every yielded projection.  ``limit`` bounds the number
-    of models; enumeration also stops on UNSAT (space exhausted) or an
-    indeterminate result (conflict budget exceeded).
+    By default this mutates the solver permanently: after enumeration the
+    solver excludes every yielded projection.  Callers holding a live
+    :class:`repro.sat.incremental.IncrementalSolver` session can instead
+    pass an activation ``group`` (which must also appear positively in
+    ``assumptions``); the blocking clauses are then tagged with it, and
+    releasing the group afterwards restores the session.  ``limit``
+    bounds the number of models; enumeration also stops on UNSAT (space
+    exhausted) or an indeterminate result (conflict budget exceeded).
     """
     produced = 0
     while produced < limit:
@@ -41,7 +46,11 @@ def enumerate_models(
         blocking = [
             (-v if bit else v) for v, bit in zip(project_vars, projection)
         ]
-        if not solver.add_clause(blocking):
+        if group is not None:
+            added = solver.add_clause(blocking, group=group)  # type: ignore[call-arg]
+        else:
+            added = solver.add_clause(blocking)
+        if not added:
             return
 
 

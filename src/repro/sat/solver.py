@@ -30,14 +30,20 @@ _UNASSIGNED = -1
 
 
 class _Clause:
-    """Internal clause representation; lits are internal codes."""
+    """Internal clause representation; lits are internal codes.
 
-    __slots__ = ("lits", "learnt", "deleted")
+    ``lbd`` (literal block distance, the number of distinct decision
+    levels in the clause when it was learned) ranks learned clauses for
+    database reduction: low-LBD "glue" clauses are kept forever.
+    """
 
-    def __init__(self, lits: list[int], learnt: bool):
+    __slots__ = ("lits", "learnt", "deleted", "lbd")
+
+    def __init__(self, lits: list[int], learnt: bool, lbd: int = 0):
         self.lits = lits
         self.learnt = learnt
         self.deleted = False
+        self.lbd = lbd
 
 
 @dataclass
@@ -55,11 +61,18 @@ class SolverStats:
 
 @dataclass
 class SolveResult:
-    """Outcome of one ``solve`` call."""
+    """Outcome of one ``solve`` call.
+
+    On UNSAT answers reached under assumptions, ``core`` holds a subset
+    of the assumption literals that is already jointly inconsistent with
+    the formula (the *failed assumptions*); it is ``[]`` when the formula
+    is unsatisfiable regardless of assumptions.
+    """
 
     satisfiable: bool | None  # None means resource limit reached
     model: list[int] | None = None  # index 0 unused; values 0/1
     stats: SolverStats = field(default_factory=SolverStats)
+    core: list[int] | None = None  # failed assumptions (DIMACS), UNSAT only
 
     def value(self, var: int) -> int:
         if self.model is None:
@@ -363,6 +376,41 @@ class CdclSolver:
             back_level = self._level[learnt[1] >> 1]
         return learnt, back_level
 
+    def _analyze_final(self, failed_code: int) -> list[int]:
+        """Assumption core of a failed assumption (MiniSat's analyzeFinal).
+
+        ``failed_code`` is an assumption literal whose negation is implied
+        by the formula plus earlier assumptions.  Walks the implication
+        graph backwards from it and collects the assumption decisions the
+        derivation actually used; returns them (including the failed
+        literal itself) as DIMACS literals.
+        """
+        core_codes = [failed_code]
+        if self._trail_lim:
+            seen = bytearray(self.n_vars + 1)
+            seen[failed_code >> 1] = 1
+            level = self._level
+            reason_of = self._reason
+            for idx in range(len(self._trail) - 1, self._trail_lim[0] - 1, -1):
+                p = self._trail[idx]
+                var = p >> 1
+                if not seen[var]:
+                    continue
+                seen[var] = 0
+                reason = reason_of[var]
+                if reason is None:
+                    # An assumption decision this derivation used.  (When
+                    # p == failed_code^1 both polarities were assumed and
+                    # the opposite assumption is the whole core.)
+                    core_codes.append(p)
+                else:
+                    for q in reason.lits:
+                        if level[q >> 1] > 0:
+                            seen[q >> 1] = 1
+        return [
+            -(code >> 1) if code & 1 else (code >> 1) for code in core_codes
+        ]
+
     def _redundant(self, code: int, seen: bytearray) -> bool:
         """Cheap (non-recursive) literal redundancy test."""
         reason = self._reason[code >> 1]
@@ -381,7 +429,9 @@ class CdclSolver:
             ok = self._enqueue(learnt[0], None)
             assert ok, "asserting unit must be enqueueable after backjump"
             return
-        clause = _Clause(learnt, learnt=True)
+        level = self._level
+        lbd = len({level[code >> 1] for code in learnt})
+        clause = _Clause(learnt, learnt=True, lbd=lbd)
         self._learnts.append(clause)
         self.stats.learned += 1
         self._watches[learnt[0]].append(clause)
@@ -438,23 +488,30 @@ class CdclSolver:
     # learned clause reduction
     # ------------------------------------------------------------------
     def _reduce_db(self) -> None:
+        """Drop the worst half of the learned clauses.
+
+        Ranking is by literal block distance, then clause size (glue-style
+        heuristics): binary and LBD<=2 clauses are kept unconditionally,
+        as are clauses currently locked as a propagation reason.
+        """
         locked = set()
         for var in range(1, self.n_vars + 1):
             reason = self._reason[var]
             if reason is not None and reason.learnt:
                 locked.add(id(reason))
-        keep_from = len(self._learnts) // 2
+        candidates = [c for c in self._learnts if not c.deleted]
+        ranked = sorted(candidates, key=lambda c: (c.lbd, len(c.lits)))
         removed = 0
-        survivors: list[_Clause] = []
-        for idx, clause in enumerate(self._learnts):
-            if clause.deleted:
+        for clause in ranked[len(ranked) // 2 :]:
+            if (
+                clause.lbd <= 2
+                or len(clause.lits) <= 2
+                or id(clause) in locked
+            ):
                 continue
-            if idx < keep_from and len(clause.lits) > 2 and id(clause) not in locked:
-                clause.deleted = True
-                removed += 1
-            else:
-                survivors.append(clause)
-        self._learnts = survivors
+            clause.deleted = True
+            removed += 1
+        self._learnts = [c for c in candidates if not c.deleted]
         self.stats.deleted += removed
 
     # ------------------------------------------------------------------
@@ -474,7 +531,7 @@ class CdclSolver:
         started = time.perf_counter()
         self.stats.solve_calls += 1
         if not self._ok:
-            return SolveResult(satisfiable=False, stats=self.stats)
+            return SolveResult(satisfiable=False, stats=self.stats, core=[])
 
         assumption_codes: list[int] = []
         for lit in assumptions:
@@ -485,7 +542,7 @@ class CdclSolver:
         self._backtrack(0)
         if self._propagate() is not None:
             self._ok = False
-            return SolveResult(satisfiable=False, stats=self.stats)
+            return SolveResult(satisfiable=False, stats=self.stats, core=[])
 
         conflicts_here = 0
         luby_index = 1
@@ -503,7 +560,9 @@ class CdclSolver:
                 if not self._trail_lim:
                     self._ok = False
                     self._finish_timer(started)
-                    return SolveResult(satisfiable=False, stats=self.stats)
+                    return SolveResult(
+                        satisfiable=False, stats=self.stats, core=[]
+                    )
                 learnt, back_level = self._analyze(conflict)
                 self._backtrack(back_level)
                 self._record_learnt(learnt)
@@ -532,21 +591,23 @@ class CdclSolver:
 
             # Assumption handling: decide the first unassigned assumption.
             decided_assumption = False
-            failed_assumption = False
+            failed_core: list[int] | None = None
             for code in assumption_codes:
                 value = self._value(code)
                 if value == 0:
-                    failed_assumption = True
+                    failed_core = self._analyze_final(code)
                     break
                 if value == _UNASSIGNED:
                     self._trail_lim.append(len(self._trail))
                     self._enqueue(code, None)
                     decided_assumption = True
                     break
-            if failed_assumption:
+            if failed_core is not None:
                 self._backtrack(0)
                 self._finish_timer(started)
-                return SolveResult(satisfiable=False, stats=self.stats)
+                return SolveResult(
+                    satisfiable=False, stats=self.stats, core=failed_core
+                )
             if decided_assumption:
                 continue
 

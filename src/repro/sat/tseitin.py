@@ -4,15 +4,200 @@ Each net gets one SAT variable; every gate contributes the standard
 constant-size clause set expressing ``output <-> op(inputs)``.  Multi-input
 XOR/XNOR gates are decomposed into binary XOR chains with auxiliary
 variables so clause counts stay linear.
+
+Two layers:
+
+* :func:`encoding_for` compiles a netlist **once** into a
+  :class:`NetlistEncoding` — clauses over a private local variable
+  numbering plus a net-name -> local-variable map.  Compilations are
+  cached per netlist object, so the incremental SAT attack pays the
+  gate-walk and dict churn a single time per circuit.
+* :class:`CircuitEncoder` stamps template copies into a shared
+  :class:`Cnf`.  Stamping is pure integer translation (one fresh-variable
+  block plus a literal lookup table per copy), which is what makes
+  per-DIP miter extension cheap.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+from weakref import WeakKeyDictionary
 
 from repro.netlist.gates import GateType
 from repro.netlist.netlist import Gate, Netlist
 from repro.sat.cnf import Cnf
+
+
+# ----------------------------------------------------------------------
+# gate clause emission (shared by template compilation and ad-hoc use)
+# ----------------------------------------------------------------------
+def encode_gate_clauses(cnf: Cnf, gate: Gate, out: int, ins: list[int]) -> None:
+    """Append the clause set for ``out <-> gate(ins)`` to ``cnf``."""
+    add = cnf.add_clause
+    gtype = gate.gtype
+    if gtype is GateType.AND:
+        for x in ins:
+            add([-out, x])
+        add([out] + [-x for x in ins])
+    elif gtype is GateType.NAND:
+        for x in ins:
+            add([out, x])
+        add([-out] + [-x for x in ins])
+    elif gtype is GateType.OR:
+        for x in ins:
+            add([out, -x])
+        add([-out] + list(ins))
+    elif gtype is GateType.NOR:
+        for x in ins:
+            add([-out, -x])
+        add([out] + list(ins))
+    elif gtype is GateType.XOR:
+        _encode_xor_chain(cnf, out, ins, invert=False)
+    elif gtype is GateType.XNOR:
+        _encode_xor_chain(cnf, out, ins, invert=True)
+    elif gtype is GateType.NOT:
+        add([-out, -ins[0]])
+        add([out, ins[0]])
+    elif gtype is GateType.BUF:
+        add([-out, ins[0]])
+        add([out, -ins[0]])
+    elif gtype is GateType.MUX:
+        sel, in0, in1 = ins
+        add([-out, sel, in0])
+        add([out, sel, -in0])
+        add([-out, -sel, in1])
+        add([out, -sel, -in1])
+    elif gtype is GateType.CONST0:
+        add([-out])
+    elif gtype is GateType.CONST1:
+        add([out])
+    else:  # pragma: no cover
+        raise ValueError(f"cannot encode gate type {gtype!r}")
+
+
+def _encode_xor_chain(cnf: Cnf, out: int, ins: Sequence[int], invert: bool) -> None:
+    """``out = x1 ^ x2 ^ ... [^ 1 when invert]``.
+
+    Reduced as a balanced tree rather than a linear chain: same clause
+    count, but implication depth O(log n), which measurably helps unit
+    propagation on the wide seed-overlay XORs the attack models emit.
+    """
+    add = cnf.add_clause
+    layer = list(ins)
+    while len(layer) > 2:
+        next_layer: list[int] = []
+        for i in range(0, len(layer) - 1, 2):
+            aux = cnf.new_var()
+            _encode_xor2(cnf, aux, layer[i], layer[i + 1])
+            next_layer.append(aux)
+        if len(layer) % 2:
+            next_layer.append(layer[-1])
+        layer = next_layer
+    if len(layer) == 1:
+        acc = layer[0]
+        if invert:
+            add([-out, -acc])
+            add([out, acc])
+        else:
+            add([-out, acc])
+            add([out, -acc])
+        return
+    if invert:
+        _encode_xor2(cnf, -out, layer[0], layer[1])
+    else:
+        _encode_xor2(cnf, out, layer[0], layer[1])
+
+
+def _encode_xor2(cnf: Cnf, out: int, a: int, b: int) -> None:
+    """``out = a ^ b`` (out may be a negative literal for XNOR)."""
+    add = cnf.add_clause
+    add([-out, a, b])
+    add([-out, -a, -b])
+    add([out, a, -b])
+    add([out, -a, b])
+
+
+# ----------------------------------------------------------------------
+# compiled per-netlist templates
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class NetlistEncoding:
+    """A netlist compiled to CNF over local variables ``1..n_locals``.
+
+    ``net_local`` maps every named net (primary inputs, gate outputs,
+    gate operand nets and primary outputs) to its local variable; the
+    remaining locals are Tseitin auxiliaries.  Templates are immutable
+    and shared between all stamped copies.
+    """
+
+    name: str
+    n_locals: int
+    clauses: tuple[tuple[int, ...], ...]
+    net_local: Mapping[str, int]
+    fingerprint: tuple[int, int, int]
+
+    @property
+    def n_clauses(self) -> int:
+        return len(self.clauses)
+
+
+_TEMPLATE_CACHE: "WeakKeyDictionary[Netlist, NetlistEncoding]" = WeakKeyDictionary()
+
+
+def _fingerprint(netlist: Netlist) -> tuple[int, int, int]:
+    return (len(netlist.inputs), len(netlist.outputs), len(netlist.gates))
+
+
+def compile_encoding(netlist: Netlist) -> NetlistEncoding:
+    """Compile a netlist into a fresh :class:`NetlistEncoding` (no cache)."""
+    if netlist.dffs:
+        raise ValueError(
+            "cannot Tseitin-encode a sequential netlist; "
+            "build a combinational model first"
+        )
+    cnf = Cnf()
+    net_local: dict[str, int] = {}
+
+    def var_for(net: str) -> int:
+        var = net_local.get(net)
+        if var is None:
+            var = cnf.new_var()
+            net_local[net] = var
+        return var
+
+    for net in netlist.inputs:
+        var_for(net)
+    for gate in netlist.topological_gates():
+        out = var_for(gate.output)
+        ins = [var_for(n) for n in gate.inputs]
+        encode_gate_clauses(cnf, gate, out, ins)
+    for net in netlist.outputs:
+        var_for(net)
+    return NetlistEncoding(
+        name=netlist.name,
+        n_locals=cnf.n_vars,
+        clauses=tuple(cnf.clauses),
+        net_local=net_local,
+        fingerprint=_fingerprint(netlist),
+    )
+
+
+def encoding_for(netlist: Netlist) -> NetlistEncoding:
+    """Cached :func:`compile_encoding`.
+
+    The cache key is the netlist object; a shape fingerprint (input,
+    output and gate counts) invalidates stale entries when a netlist is
+    mutated after being encoded.  In-place edits that preserve all three
+    counts are not detected — re-encode such netlists with
+    :func:`compile_encoding` directly.
+    """
+    cached = _TEMPLATE_CACHE.get(netlist)
+    if cached is not None and cached.fingerprint == _fingerprint(netlist):
+        return cached
+    template = compile_encoding(netlist)
+    _TEMPLATE_CACHE[netlist] = template
+    return template
 
 
 class CircuitEncoder:
@@ -20,7 +205,10 @@ class CircuitEncoder:
 
     Net-to-variable maps are namespaced by an instance prefix so that a
     miter (two copies of the locked circuit) can share key variables while
-    keeping internal nets separate.
+    keeping internal nets separate.  Copies are stamped from the cached
+    :class:`NetlistEncoding` template, so encoding the same netlist many
+    times (the SAT attack adds two copies per DIP) costs integer
+    translation only.
     """
 
     def __init__(self, cnf: Cnf | None = None):
@@ -47,111 +235,41 @@ class CircuitEncoder:
 
     # ------------------------------------------------------------------
     def encode_netlist(self, netlist: Netlist, prefix: str = "") -> dict[str, int]:
-        """Encode the combinational part of ``netlist``.
+        """Stamp one copy of ``netlist`` into the shared CNF.
 
         Flip-flops are rejected: sequential circuits must first be turned
         into combinational models (that is the whole point of the attack).
-        Returns the net -> variable map for this instance (unprefixed net
-        names as keys).
+        Nets already bound in the encoder's namespace (via :meth:`alias`
+        or a previous copy) keep their variables; everything else gets a
+        fresh contiguous variable block.  Returns the net -> variable map
+        for this instance (unprefixed net names as keys).
         """
-        if netlist.dffs:
-            raise ValueError(
-                "cannot Tseitin-encode a sequential netlist; "
-                "build a combinational model first"
-            )
+        return self.stamp(encoding_for(netlist), prefix=prefix)
+
+    def stamp(self, template: NetlistEncoding, prefix: str = "") -> dict[str, int]:
+        """Instantiate a compiled template under ``prefix``."""
+        cnf = self.cnf
+        net_vars = self._net_vars
+        # Local -> global lookup table; slot 0 unused.
+        lut = [0] * (template.n_locals + 1)
+        for net, local in template.net_local.items():
+            bound = net_vars.get(prefix + net)
+            if bound is not None:
+                lut[local] = bound
+        next_var = cnf.n_vars
+        for local in range(1, template.n_locals + 1):
+            if lut[local] == 0:
+                next_var += 1
+                lut[local] = next_var
+        cnf.n_vars = next_var
+
         mapping: dict[str, int] = {}
-        for net in netlist.inputs:
-            mapping[net] = self.var_for(prefix + net)
-        for gate in netlist.topological_gates():
-            out_var = self.var_for(prefix + gate.output)
-            in_vars = [self.var_for(prefix + n) for n in gate.inputs]
-            self._encode_gate(gate, out_var, in_vars)
-            mapping[gate.output] = out_var
-            for net, var in zip(gate.inputs, in_vars):
-                mapping.setdefault(net, var)
-        for net in netlist.outputs:
-            mapping.setdefault(net, self.var_for(prefix + net))
+        for net, local in template.net_local.items():
+            var = lut[local]
+            net_vars[prefix + net] = var
+            mapping[net] = var
+
+        append = cnf.clauses.append
+        for clause in template.clauses:
+            append(tuple(lut[l] if l > 0 else -lut[-l] for l in clause))
         return mapping
-
-    # ------------------------------------------------------------------
-    def _encode_gate(self, gate: Gate, out: int, ins: list[int]) -> None:
-        add = self.cnf.add_clause
-        gtype = gate.gtype
-        if gtype is GateType.AND:
-            for x in ins:
-                add([-out, x])
-            add([out] + [-x for x in ins])
-        elif gtype is GateType.NAND:
-            for x in ins:
-                add([out, x])
-            add([-out] + [-x for x in ins])
-        elif gtype is GateType.OR:
-            for x in ins:
-                add([out, -x])
-            add([-out] + list(ins))
-        elif gtype is GateType.NOR:
-            for x in ins:
-                add([-out, -x])
-            add([out] + list(ins))
-        elif gtype is GateType.XOR:
-            self._encode_xor_chain(out, ins, invert=False)
-        elif gtype is GateType.XNOR:
-            self._encode_xor_chain(out, ins, invert=True)
-        elif gtype is GateType.NOT:
-            add([-out, -ins[0]])
-            add([out, ins[0]])
-        elif gtype is GateType.BUF:
-            add([-out, ins[0]])
-            add([out, -ins[0]])
-        elif gtype is GateType.MUX:
-            sel, in0, in1 = ins
-            add([-out, sel, in0])
-            add([out, sel, -in0])
-            add([-out, -sel, in1])
-            add([out, -sel, -in1])
-        elif gtype is GateType.CONST0:
-            add([-out])
-        elif gtype is GateType.CONST1:
-            add([out])
-        else:  # pragma: no cover
-            raise ValueError(f"cannot encode gate type {gtype!r}")
-
-    def _encode_xor_chain(self, out: int, ins: Sequence[int], invert: bool) -> None:
-        """``out = x1 ^ x2 ^ ... [^ 1 when invert]``.
-
-        Reduced as a balanced tree rather than a linear chain: same clause
-        count, but implication depth O(log n), which measurably helps unit
-        propagation on the wide seed-overlay XORs the attack models emit.
-        """
-        add = self.cnf.add_clause
-        layer = list(ins)
-        while len(layer) > 2:
-            next_layer: list[int] = []
-            for i in range(0, len(layer) - 1, 2):
-                aux = self.cnf.new_var()
-                self._encode_xor2(aux, layer[i], layer[i + 1])
-                next_layer.append(aux)
-            if len(layer) % 2:
-                next_layer.append(layer[-1])
-            layer = next_layer
-        if len(layer) == 1:
-            acc = layer[0]
-            if invert:
-                add([-out, -acc])
-                add([out, acc])
-            else:
-                add([-out, acc])
-                add([out, -acc])
-            return
-        if invert:
-            self._encode_xor2(-out, layer[0], layer[1])
-        else:
-            self._encode_xor2(out, layer[0], layer[1])
-
-    def _encode_xor2(self, out: int, a: int, b: int) -> None:
-        """``out = a ^ b`` (out may be a negative literal for XNOR)."""
-        add = self.cnf.add_clause
-        add([-out, a, b])
-        add([-out, -a, -b])
-        add([out, a, -b])
-        add([out, -a, b])

@@ -5,7 +5,14 @@ elements are 0 or 1.  Index 0 is, by convention, the least significant bit
 when converting to and from integers, and the first-shifted bit when the
 vector describes a scan stream.  Keeping the representation this simple
 makes every module (simulator, SAT encoder, LFSR) interoperable without
-adapter layers; numpy arrays are used only inside the vectorised simulator.
+adapter layers.
+
+For bulk evaluation there is a second, *packed* representation: a single
+``int`` whose bit ``j`` carries lane ``j``'s value, so one Python bitwise
+operation evaluates up to :data:`PACK_WORD_BITS` (or arbitrarily many)
+patterns at once.  :func:`pack_lanes` / :func:`unpack_lanes` convert a
+pattern matrix to and from its packed columns; the bit-parallel simulator
+(:class:`repro.sim.logicsim.BitParallelSimulator`) consumes them.
 """
 
 from __future__ import annotations
@@ -77,6 +84,64 @@ def parity(bits: Iterable[int]) -> int:
 def random_bits(width: int, rng: random.Random) -> list[int]:
     """Draw ``width`` uniform bits from ``rng``."""
     return [rng.randrange(2) for _ in range(width)]
+
+
+# ----------------------------------------------------------------------
+# packed-integer lanes (bit-parallel simulation substrate)
+# ----------------------------------------------------------------------
+
+#: Natural chunk width for packed evaluation.  Python ints are unbounded,
+#: but chunking long pattern sets into 64-lane words keeps each bitwise
+#: operation a single machine word under the hood.
+PACK_WORD_BITS = 64
+
+
+def lane_mask(n_lanes: int) -> int:
+    """The all-ones word over ``n_lanes`` lanes."""
+    if n_lanes < 0:
+        raise ValueError("lane count must be non-negative")
+    return (1 << n_lanes) - 1
+
+
+def broadcast_bit(bit: int, n_lanes: int) -> int:
+    """Replicate one bit across ``n_lanes`` lanes (0 or the full mask)."""
+    _check_bit(bit)
+    return lane_mask(n_lanes) if bit else 0
+
+
+def pack_lanes(rows: Sequence[Sequence[int]]) -> list[int]:
+    """Column-pack a pattern matrix: lane ``j`` of word ``i`` is ``rows[j][i]``.
+
+    Every row (one pattern / one lane) must have the same width.  Returns
+    one packed word per column.
+
+    >>> pack_lanes([[1, 0], [1, 1], [0, 1]])
+    [3, 6]
+    """
+    if not rows:
+        return []
+    width = len(rows[0])
+    words = [0] * width
+    for lane, row in enumerate(rows):
+        if len(row) != width:
+            raise ValueError("rows must all have the same width")
+        bit = 1 << lane
+        for i, value in enumerate(row):
+            _check_bit(value)
+            if value:
+                words[i] |= bit
+    return words
+
+
+def unpack_lanes(words: Sequence[int], n_lanes: int) -> list[list[int]]:
+    """Inverse of :func:`pack_lanes`: recover ``n_lanes`` rows.
+
+    >>> unpack_lanes([3, 6], 3)
+    [[1, 0], [1, 1], [0, 1]]
+    """
+    return [
+        [(word >> lane) & 1 for word in words] for lane in range(n_lanes)
+    ]
 
 
 def _check_bit(bit: int) -> None:

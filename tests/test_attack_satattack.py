@@ -56,6 +56,28 @@ class TestSatAttackOnRll:
         result = SatAttack(lock.locked, lock.key_inputs, oracle_fn).run()
         assert list(lock.secret_key) in result.key_candidates
 
+    def test_session_stays_usable_after_enumeration(self):
+        # Enumeration blocks candidates through a retractable group, so
+        # the public incremental session must still see every candidate
+        # after run() returns.
+        core, lock, oracle_fn, x_inputs = make_rll_case(13)
+        attack = SatAttack(lock.locked, lock.key_inputs, oracle_fn)
+        result = attack.run()
+        assert result.converged and result.key_candidates
+        key = attack.current_key()
+        assert key is not None
+        assert key in result.key_candidates
+        # The session must also survive further growth: stamping another
+        # constraint copy after run() (variable ids must not collide with
+        # the enumeration group's activation variable).
+        rng = random.Random(77)
+        for _ in range(4):
+            x_bits = [rng.randrange(2) for _ in x_inputs]
+            attack.add_dip_constraint(x_bits, oracle_fn(x_bits))
+            key = attack.current_key()
+            assert key is not None
+            assert key in result.key_candidates
+
     def test_iteration_hook_fires(self):
         core, lock, oracle_fn, _ = make_rll_case(12)
         records: list[IterationRecord] = []
