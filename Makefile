@@ -1,21 +1,32 @@
-# Convenience wrappers around the test and bench suites.
+# Convenience wrappers around the test, bench, and lint suites.
 #
 #   make verify   - tier-1 verification: tests/ + benchmarks/ minus `slow`
 #   make bench    - the slow paper-table regenerations (quick profile)
 #   make test-all - everything, slow included
+#   make lint     - ruff check (whole repo) + ruff format --check (runner)
 #
 # REPRO_PROFILE=quick|full|paper scales the bench instances (default quick).
+# REPRO_JOBS=N fans each bench's experiment grid across N worker
+# processes through repro.runner (default 1; 0 = one per CPU core).
 
 PYTHON ?= python
 PYTEST = PYTHONPATH=src $(PYTHON) -m pytest
+RUFF ?= ruff
 
-.PHONY: verify bench test-all
+.PHONY: verify bench test-all lint
 
 verify:
 	$(PYTEST) -x -q
 
+# The trailing `-m slow` overrides the default `-m "not slow"` addopts;
+# benchmarks/conftest.py errors out loudly if the filter ever ends up
+# deselecting every bench, so this target can't silently run nothing.
 bench:
 	$(PYTEST) benchmarks -m slow -q -s
 
 test-all:
 	$(PYTEST) -m "slow or not slow" -q
+
+lint:
+	$(RUFF) check .
+	$(RUFF) format --check src/repro/runner scripts

@@ -5,14 +5,24 @@ bench prints the paper-style row(s) it regenerates; run with ``-s`` to
 see them inline, and see EXPERIMENTS.md for the recorded comparison
 against the paper's numbers.
 
+Parallelism: set ``REPRO_JOBS=N`` to fan each bench's experiment grid
+across N worker processes via :mod:`repro.runner` (default 1 = serial,
+0 = one per CPU core).  The benches never pass a result store -- they
+measure real attack time, and a cache would turn them into no-ops.
+
 Everything in this directory is auto-marked ``slow``: the paper-table
 regenerations take minutes even at the quick profile, so the default
 test invocation (``-m "not slow"``, see pyproject.toml) skips them.
-Run them with ``make bench`` or ``pytest benchmarks -m slow``.
+Run them with ``make bench`` or ``pytest benchmarks -m slow``.  To stop
+that default from silently deselecting an explicitly requested bench
+run (``pytest benchmarks`` collecting 0 tests), this conftest turns the
+"everything you asked for was deselected" case into a hard usage error
+with the right invocation in the message.
 """
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 
 import pytest
@@ -20,19 +30,72 @@ import pytest
 from repro.reports.profiles import active_profile
 
 _BENCH_DIR = Path(__file__).resolve().parent
+_N_BENCH_COLLECTED = 0
+
+
+def _is_bench_item(item) -> bool:
+    return _BENCH_DIR in Path(item.fspath).parents
 
 
 def pytest_collection_modifyitems(items):
     """Tag every test in this directory ``slow`` so tier-1 skips them."""
+    global _N_BENCH_COLLECTED
+    _N_BENCH_COLLECTED = 0
     for item in items:
-        if _BENCH_DIR in Path(item.fspath).parents:
+        if _is_bench_item(item):
             item.add_marker(pytest.mark.slow)
+            _N_BENCH_COLLECTED += 1
+
+
+def pytest_collection_finish(session):
+    """Fail loudly if an explicit bench invocation deselected everything.
+
+    ``pytest benchmarks`` under the default ``-m "not slow"`` addopts
+    would otherwise exit green having run nothing at all.  Only the
+    default marker filter triggers the error: a user-supplied ``-m``,
+    ``-k``, or ``--collect-only`` deselecting the benches is presumed
+    deliberate.
+    """
+    config = session.config
+    # Only the path arguments the user actually typed count, and ALL of
+    # them must target this directory -- `pytest tests benchmarks` still
+    # has tests/ work to do and must not be aborted.
+    path_args = [
+        os.path.abspath(str(arg).split("::")[0])
+        for arg in config.invocation_params.args
+        if not str(arg).startswith("-")
+        and os.path.exists(str(arg).split("::")[0])
+    ]
+    explicit = bool(path_args) and all(
+        str(_BENCH_DIR) in arg for arg in path_args
+    )
+    default_filter_only = (
+        config.getoption("-m") == "not slow"
+        and not config.getoption("-k")
+        and not config.getoption("--collect-only")
+    )
+    if not explicit or not default_filter_only or _N_BENCH_COLLECTED == 0:
+        return
+    if not any(_is_bench_item(item) for item in session.items):
+        raise pytest.UsageError(
+            "all benchmarks were deselected by the default '-m \"not slow\"' "
+            "filter; run them with 'make bench' or "
+            "'pytest benchmarks -m slow'"
+        )
 
 
 @pytest.fixture(scope="session")
 def profile():
+    """The active experiment profile, announced once per session."""
     prof = active_profile()
     print(f"\n[repro] experiment profile: {prof.name} "
           f"(scale=1/{prof.scale}, key_bits={prof.key_bits}, "
           f"seeds={prof.n_seeds})")
     return prof
+
+
+@pytest.fixture(scope="session")
+def jobs():
+    """Worker-process count from ``REPRO_JOBS`` (default 1, 0 = n cores)."""
+    n = int(os.environ.get("REPRO_JOBS", "1") or "1")
+    return max(1, os.cpu_count() or 1) if n == 0 else max(1, n)

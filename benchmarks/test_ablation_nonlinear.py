@@ -15,9 +15,13 @@ from repro.reports.experiments import ABLATION_HEADERS, run_nonlinear_ablation
 from repro.reports.tables import render_table
 
 
-def test_nonlinear_prng_defeats_linear_modeling(benchmark, profile):
+def test_nonlinear_prng_defeats_linear_modeling(benchmark, profile, jobs):
     rows = benchmark.pedantic(
-        run_nonlinear_ablation, args=(profile,), rounds=1, iterations=1
+        run_nonlinear_ablation,
+        args=(profile,),
+        kwargs={"jobs": jobs},
+        rounds=1,
+        iterations=1,
     )
     print("\n" + render_table(
         ABLATION_HEADERS,

@@ -14,11 +14,16 @@ FLOP_COUNTS = (13, 16, 24, 48)
 KEY_BITS = 12  # near chain length at the small end, like the paper's ratio
 
 
-def test_candidates_shrink_as_flops_grow(benchmark, profile):
+def test_candidates_shrink_as_flops_grow(benchmark, profile, jobs):
     rows = benchmark.pedantic(
         run_flop_scaling,
         args=(profile,),
-        kwargs={"flop_counts": FLOP_COUNTS, "key_bits": KEY_BITS, "n_seeds": 3},
+        kwargs={
+            "flop_counts": FLOP_COUNTS,
+            "key_bits": KEY_BITS,
+            "n_seeds": 3,
+            "jobs": jobs,
+        },
         rounds=1,
         iterations=1,
     )

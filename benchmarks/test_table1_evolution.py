@@ -15,8 +15,14 @@ from repro.reports.experiments import TABLE1_HEADERS, run_table1
 from repro.reports.tables import render_table
 
 
-def test_table1_every_defense_is_broken(benchmark, profile):
-    rows = benchmark.pedantic(run_table1, args=(profile,), rounds=1, iterations=1)
+def test_table1_every_defense_is_broken(benchmark, profile, jobs):
+    rows = benchmark.pedantic(
+        run_table1,
+        args=(profile,),
+        kwargs={"jobs": jobs},
+        rounds=1,
+        iterations=1,
+    )
     print("\n" + render_table(
         TABLE1_HEADERS,
         [row.as_cells() for row in rows],

@@ -29,9 +29,13 @@ from repro.reports.tables import render_table
 
 
 @pytest.mark.parametrize("name", TABLE2_BENCHMARKS)
-def test_table2_row(benchmark, profile, name):
+def test_table2_row(benchmark, profile, jobs, name):
     row = benchmark.pedantic(
-        run_table2_row, args=(name, profile), rounds=1, iterations=1
+        run_table2_row,
+        args=(name, profile),
+        kwargs={"jobs": jobs},
+        rounds=1,
+        iterations=1,
     )
     benchmark.extra_info.update(
         {

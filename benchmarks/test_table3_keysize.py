@@ -16,25 +16,16 @@ monotonicity is noisy at laptop scale).
 import pytest
 
 from repro.bench_suite.registry import TABLE3_BENCHMARKS
-from repro.reports.experiments import TABLE3_HEADERS, run_table3_cell
+from repro.reports.experiments import TABLE3_HEADERS, run_table3
 from repro.reports.tables import render_table
 
 
-def _cases(profile):
-    return [
-        (name, kb)
-        for name in TABLE3_BENCHMARKS
-        for kb in profile.table3_key_sizes
-    ]
-
-
 @pytest.mark.parametrize("name", TABLE3_BENCHMARKS)
-def test_table3_sweep(benchmark, profile, name):
+def test_table3_sweep(benchmark, profile, jobs, name):
+    # One runner grid per circuit: the whole key-size sweep fans out
+    # across REPRO_JOBS workers instead of looping cell by cell.
     rows = benchmark.pedantic(
-        lambda: [
-            run_table3_cell(name, kb, profile)
-            for kb in profile.table3_key_sizes
-        ],
+        lambda: run_table3(profile, benchmarks=[name], jobs=jobs),
         rounds=1,
         iterations=1,
     )

@@ -15,7 +15,6 @@ import random
 from repro.bench_suite.iscas import s27_netlist
 from repro.locking.effdyn import lock_with_effdyn
 from repro.locking.tpm import AuthenticationScheme, TamperProofMemory
-from repro.prng.lfsr import FibonacciLfsr, Keystream
 from repro.util.bitvec import bits_to_str, random_bits
 
 

@@ -8,14 +8,23 @@ Subcommands mirror the library's main entry points::
     dynunlock table1|table2|table3        # regenerate the paper tables
     dynunlock scaling                     # Section IV scalability study
     dynunlock ablation                    # Section V nonlinear-PRNG study
+    dynunlock run table2 scaling --jobs 4 # several grids through the runner
 
 All table commands accept ``--profile quick|full|paper`` (or the
-``REPRO_PROFILE`` environment variable).
+``REPRO_PROFILE`` environment variable) plus the runner surfaces:
+``--jobs N`` fans the experiment grid across N worker processes (0 =
+one per CPU core); ``--resume`` (default) memoises finished cells in
+``--cache-dir`` (default ``.repro_cache``, override with
+``$REPRO_CACHE_DIR``) so interrupted or repeated runs only recompute
+stale cells -- pass ``--no-resume`` to force recomputation; and
+``--emit-json DIR`` writes ``BENCH_<experiment>.json`` + ``.csv``
+artifacts that CI uploads and diffs against the checked-in baseline.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import random
 import sys
 
@@ -26,20 +35,12 @@ from repro.bench_suite.registry import (
 )
 from repro.core.dynunlock import DynUnlockConfig, dynunlock
 from repro.locking.effdyn import lock_with_effdyn
-from repro.reports.experiments import (
-    ABLATION_HEADERS,
-    SCALING_HEADERS,
-    TABLE1_HEADERS,
-    TABLE2_HEADERS,
-    TABLE3_HEADERS,
-    run_flop_scaling,
-    run_nonlinear_ablation,
-    run_table1,
-    run_table2,
-    run_table3,
-)
+from repro.reports.experiments import GRID, run_grid_experiment
 from repro.reports.profiles import PROFILES, active_profile
 from repro.reports.tables import render_table
+from repro.runner.artifacts import write_artifact
+from repro.runner.spec import code_version
+from repro.runner.store import ResultStore
 
 
 def _progress(message: str) -> None:
@@ -50,6 +51,55 @@ def _profile_from_args(args: argparse.Namespace):
     if getattr(args, "profile", None):
         return PROFILES[args.profile]
     return active_profile()
+
+
+def _jobs_from_args(args: argparse.Namespace) -> int:
+    jobs = getattr(args, "jobs", 1)
+    return max(1, os.cpu_count() or 1) if jobs == 0 else max(1, jobs)
+
+
+def _store_from_args(args: argparse.Namespace) -> ResultStore | None:
+    if not getattr(args, "resume", True):
+        return None
+    return ResultStore(getattr(args, "cache_dir", None))
+
+
+def _run_experiment(args: argparse.Namespace, name: str, **spec_kwargs) -> int:
+    """Run one named grid through the scheduler and print/emit its table."""
+    experiment = GRID[name]
+    profile = _profile_from_args(args)
+    rows, report = run_grid_experiment(
+        name,
+        profile,
+        _progress,
+        jobs=_jobs_from_args(args),
+        store=_store_from_args(args),
+        **spec_kwargs,
+    )
+    title = f"{experiment.title} (profile={profile.name})"
+    print(render_table(experiment.headers, [r.as_cells() for r in rows], title=title))
+    print(f"  [=] {report.summary()}", file=sys.stderr)
+    if getattr(args, "emit_json", None):
+        times = [o.result.get("time_s", 0.0) for o in report.outcomes]
+        path = write_artifact(
+            args.emit_json,
+            name,
+            experiment.headers,
+            [r.as_cells() for r in rows],
+            title=title,
+            profile=profile.name,
+            meta={
+                "jobs": _jobs_from_args(args),
+                "n_jobs_total": len(report.outcomes),
+                "n_cached": report.n_cached,
+                "n_computed": report.n_computed,
+                "total_attack_time_s": sum(times),
+                "wall_s": report.wall_s,
+                "code_version": code_version()[:20],
+            },
+        )
+        print(f"  [=] wrote {path}", file=sys.stderr)
+    return 0
 
 
 def cmd_info(args: argparse.Namespace) -> int:
@@ -148,46 +198,43 @@ def cmd_export(args: argparse.Namespace) -> int:
 
 def cmd_table1(args: argparse.Namespace) -> int:
     """``dynunlock table1``: regenerate the defense-evolution table."""
-    profile = _profile_from_args(args)
-    rows = run_table1(profile, progress=_progress)
-    print(render_table(TABLE1_HEADERS, [r.as_cells() for r in rows],
-                       title=f"Table I (profile={profile.name})"))
-    return 0
+    return _run_experiment(args, "table1")
 
 
 def cmd_table2(args: argparse.Namespace) -> int:
     """``dynunlock table2``: regenerate the paper's main results table."""
-    profile = _profile_from_args(args)
-    rows = run_table2(profile, benchmarks=args.benchmarks or None, progress=_progress)
-    print(render_table(TABLE2_HEADERS, [r.as_cells() for r in rows],
-                       title=f"Table II (profile={profile.name})"))
-    return 0
+    return _run_experiment(args, "table2", benchmarks=args.benchmarks or None)
 
 
 def cmd_table3(args: argparse.Namespace) -> int:
     """``dynunlock table3``: regenerate the key-size scaling table."""
-    profile = _profile_from_args(args)
-    rows = run_table3(profile, benchmarks=args.benchmarks or None, progress=_progress)
-    print(render_table(TABLE3_HEADERS, [r.as_cells() for r in rows],
-                       title=f"Table III (profile={profile.name})"))
-    return 0
+    return _run_experiment(args, "table3", benchmarks=args.benchmarks or None)
 
 
 def cmd_scaling(args: argparse.Namespace) -> int:
     """``dynunlock scaling``: regenerate the Section IV flop-count study."""
-    profile = _profile_from_args(args)
-    rows = run_flop_scaling(profile, progress=_progress)
-    print(render_table(SCALING_HEADERS, [r.as_cells() for r in rows],
-                       title=f"Flop scaling (profile={profile.name})"))
-    return 0
+    return _run_experiment(args, "scaling")
 
 
 def cmd_ablation(args: argparse.Namespace) -> int:
     """``dynunlock ablation``: regenerate the Section V nonlinear-PRNG study."""
-    profile = _profile_from_args(args)
-    rows = run_nonlinear_ablation(profile, progress=_progress)
-    print(render_table(ABLATION_HEADERS, [r.as_cells() for r in rows],
-                       title=f"PRNG ablation (profile={profile.name})"))
+    return _run_experiment(args, "ablation")
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    """``dynunlock run``: push one or more experiment grids through the runner."""
+    names = list(GRID) if "all" in args.experiments else args.experiments
+    seen: list[str] = []
+    for name in names:
+        if name not in seen:
+            seen.append(name)
+    for name in seen:
+        kwargs = {}
+        if name in ("table2", "table3") and args.benchmarks:
+            kwargs["benchmarks"] = args.benchmarks
+        code = _run_experiment(args, name, **kwargs)
+        if code != 0:
+            return code
     return 0
 
 
@@ -203,6 +250,27 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--profile", choices=sorted(PROFILES), default=None,
             help="experiment size profile (default: $REPRO_PROFILE or quick)",
+        )
+
+    def add_runner(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "-j", "--jobs", type=int, default=1, metavar="N",
+            help="worker processes for the experiment grid "
+                 "(1 = serial, 0 = one per CPU core)",
+        )
+        p.add_argument(
+            "--resume", action=argparse.BooleanOptionalAction, default=True,
+            help="reuse cached cells from --cache-dir and store new ones "
+                 "(--no-resume recomputes everything)",
+        )
+        p.add_argument(
+            "--cache-dir", default=None, metavar="DIR",
+            help="result store location (default: $REPRO_CACHE_DIR "
+                 "or .repro_cache)",
+        )
+        p.add_argument(
+            "--emit-json", default=None, metavar="DIR",
+            help="write BENCH_<experiment>.json + .csv artifacts to DIR",
         )
 
     p = sub.add_parser("info", help="show benchmark statistics")
@@ -247,7 +315,23 @@ def build_parser() -> argparse.ArgumentParser:
         if has_benchmarks:
             p.add_argument("benchmarks", nargs="*", default=[])
         add_profile(p)
+        add_runner(p)
         p.set_defaults(func=func)
+
+    p = sub.add_parser(
+        "run", help="run experiment grids through the parallel runner"
+    )
+    p.add_argument(
+        "experiments", nargs="+", choices=sorted(GRID) + ["all"],
+        help="which grids to run (or 'all')",
+    )
+    p.add_argument(
+        "--benchmarks", nargs="*", default=[],
+        help="restrict table2/table3 to these benchmarks",
+    )
+    add_profile(p)
+    add_runner(p)
+    p.set_defaults(func=cmd_run)
 
     return parser
 

@@ -27,7 +27,6 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Sequence
 
 from repro.attack.bruteforce import refine_candidates_by_replay
 from repro.attack.satattack import SatAttack, SatAttackConfig, SatAttackResult

@@ -30,7 +30,7 @@ from typing import Literal, Sequence
 import numpy as np
 
 from repro.netlist.gates import GateType
-from repro.netlist.netlist import Netlist, NetNamer
+from repro.netlist.netlist import Netlist
 from repro.netlist.transform import copy_with_prefix, extract_combinational_core
 from repro.prng.symbolic import LfsrUnrolling, SymbolicLfsr
 from repro.scan.chain import ScanChainSpec, shift_in, shift_out

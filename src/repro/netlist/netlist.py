@@ -16,7 +16,7 @@ IR purely about connectivity.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Iterator, Sequence
 
 from repro.netlist.gates import GateType, check_arity

@@ -10,7 +10,7 @@ from __future__ import annotations
 from typing import Callable, Iterable
 
 from repro.netlist.gates import GateType
-from repro.netlist.netlist import Dff, Gate, Netlist, NetlistError
+from repro.netlist.netlist import Netlist, NetlistError
 
 
 def rename_nets(netlist: Netlist, mapper: Callable[[str], str]) -> Netlist:

@@ -2,28 +2,39 @@
 
 :mod:`repro.reports.experiments` runs the paper's experiments (Tables
 I-III plus the scalability and ablation studies) at a chosen profile;
+:mod:`repro.reports.cells` holds the single-cell computations the
+:mod:`repro.runner` scheduler fans out across cores;
 :mod:`repro.reports.tables` renders the resulting rows in the same shape
 the paper prints.  The pytest benches and the CLI are thin wrappers over
 these functions, so `EXPERIMENTS.md` numbers are regenerable either way.
 """
 
-from repro.reports.profiles import ExperimentProfile, PROFILES, active_profile
 from repro.reports.experiments import (
+    GRID,
+    GridExperiment,
     Table1Row,
     Table2Row,
     Table3Row,
+    run_flop_scaling,
+    run_grid_experiment,
+    run_nonlinear_ablation,
     run_table1,
     run_table2,
     run_table2_row,
     run_table3,
     run_table3_cell,
-    run_flop_scaling,
-    run_nonlinear_ablation,
 )
-from repro.reports.tables import render_table, render_markdown_table
+from repro.reports.profiles import PROFILES, ExperimentProfile, active_profile
+from repro.reports.tables import (
+    render_artifact,
+    render_markdown_table,
+    render_table,
+)
 
 __all__ = [
     "ExperimentProfile",
+    "GRID",
+    "GridExperiment",
     "PROFILES",
     "active_profile",
     "Table1Row",
@@ -35,7 +46,9 @@ __all__ = [
     "run_table3",
     "run_table3_cell",
     "run_flop_scaling",
+    "run_grid_experiment",
     "run_nonlinear_ablation",
+    "render_artifact",
     "render_table",
     "render_markdown_table",
 ]

@@ -1,41 +1,118 @@
 """Runners for every experiment in the paper's evaluation section.
 
-Each function mirrors one table/figure/claim and returns structured rows;
-the benches and the CLI print them via :mod:`repro.reports.tables`.  All
-randomness is derived from fixed integer seeds, so two runs at the same
-profile produce identical rows (modulo wall-clock columns).
+Each ``run_*`` function mirrors one table/figure/claim and returns
+structured rows; the benches and the CLI print them via
+:mod:`repro.reports.tables`.  All randomness is derived from fixed
+integer seeds, so two runs at the same profile produce identical rows
+(modulo wall-clock columns).
+
+Since PR 2 the runners no longer loop inline: they enumerate the
+benchmark x config x seed grid as :class:`~repro.runner.spec.JobSpec`
+cells (one per :mod:`repro.reports.cells` invocation) and push them
+through :func:`repro.runner.scheduler.run_jobs`.  Every runner accepts
+
+* ``jobs`` -- worker processes (1 = serial in-process, the default);
+* ``store`` -- a :class:`~repro.runner.store.ResultStore` memoising
+  finished cells, making re-runs resumable and incremental.
+
+Parallel and serial runs aggregate identical cell results in identical
+(spec) order, so the produced rows match cell-for-cell; with a store,
+repeated runs are byte-identical including the timing columns.
+
+The :data:`GRID` registry maps experiment names to (spec enumeration,
+row aggregation) pairs so callers like ``dynunlock run`` can fuse
+several experiments into one scheduler grid.
 """
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 from statistics import mean
 from typing import Callable, Sequence
 
-from repro.attack.scansat import scansat_attack_on_lock
-from repro.attack.scansat_dyn import scansat_dyn_attack_on_lock
-from repro.attack.shift_and_leak import shift_and_leak_on_lock
-from repro.bench_suite.registry import (
-    TABLE2_BENCHMARKS,
-    TABLE3_BENCHMARKS,
-    build_benchmark_netlist,
-    get_benchmark,
-)
-from repro.core.dynunlock import DynUnlockConfig, dynunlock
-from repro.locking.dfs import lock_with_dfs
-from repro.locking.dos import lock_with_dos
-from repro.locking.eff import lock_with_eff
-from repro.locking.effdyn import lock_with_effdyn
+from repro.bench_suite.registry import TABLE2_BENCHMARKS, TABLE3_BENCHMARKS
 from repro.netlist.netlist import Netlist
+from repro.reports.cells import _TABLE1_DEFENSES, table1_cell
 from repro.reports.profiles import ExperimentProfile
-from repro.util.rng import hash_label
+from repro.runner.scheduler import JobOutcome, run_jobs
+from repro.runner.spec import JobSpec
+from repro.runner.store import ResultStore
 
 ProgressFn = Callable[[str], None]
 
 
 def _noop_progress(_: str) -> None:
     return None
+
+
+_PROGRESS_KEYS = (
+    "n_seed_candidates",
+    "iterations",
+    "time_s",
+    "success",
+    "exact_seed",
+    "broken",
+    "attack_success",
+    "modeled_correctly",
+)
+
+
+def adapt_progress(progress: ProgressFn) -> Callable[[JobOutcome], None]:
+    """Bridge the runner's outcome callbacks onto the string ProgressFn."""
+
+    def callback(outcome: JobOutcome) -> None:
+        if not outcome.ok:
+            progress(f"{outcome.spec.label}: FAILED ({outcome.error})")
+            return
+        result = outcome.result or {}
+        bits = []
+        for key in _PROGRESS_KEYS:
+            if key in result:
+                value = result[key]
+                text = f"{value:.1f}" if isinstance(value, float) else str(value)
+                bits.append(f"{key}={text}")
+        state = "cached" if outcome.cached else f"computed in {outcome.duration_s:.1f}s"
+        progress(f"{outcome.spec.label}: {' '.join(bits)} [{state}]")
+
+    return callback
+
+
+def _run_grid(
+    specs: Sequence[JobSpec],
+    progress: ProgressFn,
+    jobs: int,
+    store: ResultStore | None,
+) -> list[JobOutcome]:
+    """Run one experiment's specs, failing loudly if any cell failed."""
+    report = run_jobs(
+        specs, jobs=jobs, store=store, progress=adapt_progress(progress)
+    )
+    report.raise_on_error()
+    return report.outcomes
+
+
+def run_grid_experiment(
+    name: str,
+    profile: ExperimentProfile,
+    progress: ProgressFn = _noop_progress,
+    *,
+    jobs: int = 1,
+    store: ResultStore | None = None,
+    **spec_kwargs,
+):
+    """Run one :data:`GRID` experiment end to end: ``(rows, RunReport)``.
+
+    The one-stop surface for callers (the CLI, scripts) that also want
+    the scheduler accounting -- cached/computed counts, wall time --
+    next to the aggregated paper-style rows.
+    """
+    experiment = GRID[name]
+    specs = experiment.build_specs(profile, **spec_kwargs)
+    report = run_jobs(
+        specs, jobs=jobs, store=store, progress=adapt_progress(progress)
+    )
+    report.raise_on_error()
+    return experiment.aggregate(report.outcomes), report
 
 
 # ----------------------------------------------------------------------
@@ -79,60 +156,78 @@ TABLE2_HEADERS = [
 ]
 
 
+def table2_specs(
+    profile: ExperimentProfile,
+    benchmarks: Sequence[str] | None = None,
+    key_bits: int | None = None,
+    experiment: str = "table2",
+) -> list[JobSpec]:
+    """Enumerate the (benchmark x LFSR seed) grid for Table II."""
+    names = list(benchmarks) if benchmarks is not None else TABLE2_BENCHMARKS
+    return [
+        JobSpec.make(
+            experiment,
+            profile,
+            benchmark=name,
+            seed_index=seed_index,
+            key_bits=key_bits,
+        )
+        for name in names
+        for seed_index in range(profile.n_seeds)
+    ]
+
+
+def table2_rows(outcomes: Sequence[JobOutcome]) -> list[Table2Row]:
+    """Average per-seed table2 cells into per-benchmark rows (spec order)."""
+    grouped: dict[str, list[dict]] = {}
+    for outcome in outcomes:
+        grouped.setdefault(outcome.spec.params["benchmark"], []).append(
+            outcome.result
+        )
+    rows = []
+    for name, cells in grouped.items():
+        rows.append(
+            Table2Row(
+                benchmark=name,
+                n_scan_flops=cells[0]["n_scan_flops"],
+                key_bits=cells[0]["key_bits"],
+                n_seed_candidates=mean(c["n_seed_candidates"] for c in cells),
+                n_iterations=mean(c["iterations"] for c in cells),
+                time_s=mean(c["time_s"] for c in cells),
+                success_rate=mean(1.0 if c["success"] else 0.0 for c in cells),
+                exact_seed_rate=mean(1.0 if c["exact_seed"] else 0.0 for c in cells),
+            )
+        )
+    return rows
+
+
 def run_table2_row(
     name: str,
     profile: ExperimentProfile,
     key_bits: int | None = None,
     progress: ProgressFn = _noop_progress,
+    *,
+    jobs: int = 1,
+    store: ResultStore | None = None,
 ) -> Table2Row:
     """Attack one benchmark for ``profile.n_seeds`` different LFSR seeds."""
-    netlist = build_benchmark_netlist(name, scale=profile.scale)
-    kb = profile.effective_key_bits(netlist.n_dffs, key_bits)
-
-    candidates, iterations, times, successes, exacts = [], [], [], [], []
-    for seed_index in range(profile.n_seeds):
-        rng = random.Random(hash_label(seed_index, f"table2/{name}"))
-        lock = lock_with_effdyn(netlist, key_bits=kb, rng=rng)
-        result = dynunlock(
-            netlist,
-            lock.public_view(),
-            lock.make_oracle(),
-            DynUnlockConfig(
-                timeout_s=profile.timeout_s,
-                candidate_limit=profile.candidate_limit,
-            ),
-        )
-        candidates.append(result.n_seed_candidates)
-        iterations.append(result.iterations)
-        times.append(result.runtime_s)
-        successes.append(1.0 if result.success else 0.0)
-        exacts.append(1.0 if result.recovered_seed == list(lock.seed) else 0.0)
-        progress(
-            f"table2 {name} seed {seed_index}: "
-            f"cands={result.n_seed_candidates} iters={result.iterations} "
-            f"t={result.runtime_s:.1f}s success={result.success}"
-        )
-
-    return Table2Row(
-        benchmark=name,
-        n_scan_flops=netlist.n_dffs,
-        key_bits=kb,
-        n_seed_candidates=mean(candidates),
-        n_iterations=mean(iterations),
-        time_s=mean(times),
-        success_rate=mean(successes),
-        exact_seed_rate=mean(exacts),
-    )
+    specs = table2_specs(profile, [name], key_bits=key_bits)
+    outcomes = _run_grid(specs, progress, jobs, store)
+    return table2_rows(outcomes)[0]
 
 
 def run_table2(
     profile: ExperimentProfile,
     benchmarks: Sequence[str] | None = None,
     progress: ProgressFn = _noop_progress,
+    *,
+    jobs: int = 1,
+    store: ResultStore | None = None,
 ) -> list[Table2Row]:
     """Run every Table II row at the given profile."""
-    names = list(benchmarks) if benchmarks is not None else TABLE2_BENCHMARKS
-    return [run_table2_row(name, profile, progress=progress) for name in names]
+    specs = table2_specs(profile, benchmarks)
+    outcomes = _run_grid(specs, progress, jobs, store)
+    return table2_rows(outcomes)
 
 
 # ----------------------------------------------------------------------
@@ -141,6 +236,7 @@ def run_table2(
 @dataclass
 class Table3Row:
     """One cell of the paper's Table III (one circuit at one key size)."""
+
     benchmark: str
     key_bits: int
     n_seed_candidates: float
@@ -169,22 +265,59 @@ TABLE3_HEADERS = [
 ]
 
 
+def table3_specs(
+    profile: ExperimentProfile,
+    benchmarks: Sequence[str] | None = None,
+    key_sizes: Sequence[int] | None = None,
+) -> list[JobSpec]:
+    """Enumerate the (benchmark x key size x seed) grid for Table III."""
+    names = list(benchmarks) if benchmarks is not None else TABLE3_BENCHMARKS
+    sizes = (
+        list(key_sizes) if key_sizes is not None else list(profile.table3_key_sizes)
+    )
+    specs: list[JobSpec] = []
+    for name in names:
+        for kb in sizes:
+            specs.extend(
+                table2_specs(profile, [name], key_bits=kb, experiment="table3")
+            )
+    return specs
+
+
+def table3_rows(outcomes: Sequence[JobOutcome]) -> list[Table3Row]:
+    """Average table3 cells into per-(benchmark, key size) rows."""
+    grouped: dict[tuple[str, int], list[dict]] = {}
+    for outcome in outcomes:
+        key = (outcome.spec.params["benchmark"], outcome.spec.params["key_bits"])
+        grouped.setdefault(key, []).append(outcome.result)
+    rows = []
+    for (name, _), cells in grouped.items():
+        rows.append(
+            Table3Row(
+                benchmark=name,
+                key_bits=cells[0]["key_bits"],
+                n_seed_candidates=mean(c["n_seed_candidates"] for c in cells),
+                n_iterations=mean(c["iterations"] for c in cells),
+                time_s=mean(c["time_s"] for c in cells),
+                success_rate=mean(1.0 if c["success"] else 0.0 for c in cells),
+            )
+        )
+    return rows
+
+
 def run_table3_cell(
     name: str,
     key_bits: int,
     profile: ExperimentProfile,
     progress: ProgressFn = _noop_progress,
+    *,
+    jobs: int = 1,
+    store: ResultStore | None = None,
 ) -> Table3Row:
     """Attack one circuit at one key size (a single Table III cell)."""
-    row = run_table2_row(name, profile, key_bits=key_bits, progress=progress)
-    return Table3Row(
-        benchmark=name,
-        key_bits=row.key_bits,
-        n_seed_candidates=row.n_seed_candidates,
-        n_iterations=row.n_iterations,
-        time_s=row.time_s,
-        success_rate=row.success_rate,
-    )
+    specs = table3_specs(profile, [name], [key_bits])
+    outcomes = _run_grid(specs, progress, jobs, store)
+    return table3_rows(outcomes)[0]
 
 
 def run_table3(
@@ -192,17 +325,14 @@ def run_table3(
     benchmarks: Sequence[str] | None = None,
     key_sizes: Sequence[int] | None = None,
     progress: ProgressFn = _noop_progress,
+    *,
+    jobs: int = 1,
+    store: ResultStore | None = None,
 ) -> list[Table3Row]:
     """Run the full Table III sweep at the given profile."""
-    names = list(benchmarks) if benchmarks is not None else TABLE3_BENCHMARKS
-    sizes = list(key_sizes) if key_sizes is not None else list(
-        profile.table3_key_sizes
-    )
-    return [
-        run_table3_cell(name, kb, profile, progress=progress)
-        for name in names
-        for kb in sizes
-    ]
+    specs = table3_specs(profile, benchmarks, key_sizes)
+    outcomes = _run_grid(specs, progress, jobs, store)
+    return table3_rows(outcomes)
 
 
 # ----------------------------------------------------------------------
@@ -211,6 +341,7 @@ def run_table3(
 @dataclass
 class Table1Row:
     """One defense/attack pairing of the paper's Table I."""
+
     defense: str
     obfuscation_type: str
     attack: str
@@ -230,87 +361,61 @@ class Table1Row:
 TABLE1_HEADERS = ["Defense", "Obfuscation", "Attack", "Broken", "Detail"]
 
 
+def table1_specs(profile: ExperimentProfile) -> list[JobSpec]:
+    """Enumerate the four defense/attack pairings of Table I."""
+    return [
+        JobSpec.make("table1", profile, defense=defense)
+        for defense in _TABLE1_DEFENSES
+    ]
+
+
+def table1_rows(outcomes: Sequence[JobOutcome]) -> list[Table1Row]:
+    """Shape table1 cells into rows (one per defense, spec order)."""
+    return [
+        Table1Row(
+            defense=o.result["defense"],
+            obfuscation_type=o.result["obfuscation_type"],
+            attack=o.result["attack"],
+            broken=o.result["broken"],
+            detail=o.result["detail"],
+        )
+        for o in outcomes
+    ]
+
+
 def run_table1(
     profile: ExperimentProfile,
     circuit: Netlist | None = None,
     progress: ProgressFn = _noop_progress,
+    *,
+    jobs: int = 1,
+    store: ResultStore | None = None,
 ) -> list[Table1Row]:
     """Break each defense of Table I with its published attack.
 
     Runs on one mid-size circuit; key widths are kept small because the
-    point is the four defense/attack pairings, not scaling.
+    point is the four defense/attack pairings, not scaling.  Passing a
+    custom ``circuit`` bypasses the scheduler and cache (a foreign
+    netlist has no stable content identity to key on).
     """
-    netlist = circuit if circuit is not None else build_benchmark_netlist(
-        "s5378", scale=max(profile.scale, 8)
-    )
-    key_bits = profile.effective_key_bits(netlist.n_dffs, min(8, profile.key_bits))
-    rows: list[Table1Row] = []
-
-    rng = random.Random(hash_label(1, "table1/eff"))
-    eff = lock_with_eff(netlist, key_bits=key_bits, rng=rng)
-    result = scansat_attack_on_lock(eff, timeout_s=profile.timeout_s)
-    rows.append(
-        Table1Row(
-            defense="EFF (2018)",
-            obfuscation_type="Static",
-            attack="ScanSAT",
-            broken=result.success,
-            detail=f"{result.iterations} iterations, {result.runtime_s:.1f}s",
-        )
-    )
-    progress(f"table1 EFF/ScanSAT broken={result.success}")
-
-    rng = random.Random(hash_label(2, "table1/dfs"))
-    dfs = lock_with_dfs(netlist, key_bits=key_bits, rng=rng)
-    sl_result = shift_and_leak_on_lock(dfs, timeout_s=profile.timeout_s)
-    rows.append(
-        Table1Row(
-            defense="DFS (2018)",
-            obfuscation_type="Static",
-            attack="Shift-and-leak",
-            broken=sl_result.success,
-            detail=f"{sl_result.iterations} iterations, {sl_result.runtime_s:.1f}s",
-        )
-    )
-    progress(f"table1 DFS/shift-and-leak broken={sl_result.success}")
-
-    rng = random.Random(hash_label(3, "table1/dos"))
-    dos = lock_with_dos(netlist, key_bits=key_bits, rng=rng, period_p=1)
-    dyn_result = scansat_dyn_attack_on_lock(dos, timeout_s=profile.timeout_s)
-    rows.append(
-        Table1Row(
-            defense="DOS (2017)",
-            obfuscation_type="Dynamic (per pattern)",
-            attack="ScanSAT-dyn",
-            broken=dyn_result.success,
-            detail=f"{dyn_result.iterations} iterations, {dyn_result.runtime_s:.1f}s",
-        )
-    )
-    progress(f"table1 DOS/ScanSAT-dyn broken={dyn_result.success}")
-
-    rng = random.Random(hash_label(4, "table1/effdyn"))
-    effdyn = lock_with_effdyn(netlist, key_bits=key_bits, rng=rng)
-    du_result = dynunlock(
-        netlist,
-        effdyn.public_view(),
-        effdyn.make_oracle(),
-        DynUnlockConfig(timeout_s=profile.timeout_s),
-    )
-    rows.append(
-        Table1Row(
-            defense="EFF-Dyn (2019)",
-            obfuscation_type="Dynamic (per cycle)",
-            attack="DynUnlock (this work)",
-            broken=du_result.success,
-            detail=(
-                f"{du_result.iterations} iterations, "
-                f"{du_result.n_seed_candidates} candidates, "
-                f"{du_result.runtime_s:.1f}s"
-            ),
-        )
-    )
-    progress(f"table1 EFF-Dyn/DynUnlock broken={du_result.success}")
-    return rows
+    if circuit is not None:
+        rows = []
+        for defense in _TABLE1_DEFENSES:
+            cell = table1_cell(profile, defense=defense, netlist=circuit)
+            progress(f"table1 {cell['defense']}/{cell['attack']} "
+                     f"broken={cell['broken']}")
+            rows.append(
+                Table1Row(
+                    defense=cell["defense"],
+                    obfuscation_type=cell["obfuscation_type"],
+                    attack=cell["attack"],
+                    broken=cell["broken"],
+                    detail=cell["detail"],
+                )
+            )
+        return rows
+    outcomes = _run_grid(table1_specs(profile), progress, jobs, store)
+    return table1_rows(outcomes)
 
 
 # ----------------------------------------------------------------------
@@ -319,6 +424,7 @@ def run_table1(
 @dataclass
 class ScalingRow:
     """One point of the Section IV flop-count scaling study."""
+
     n_flops: int
     key_bits: int
     n_seed_candidates: float
@@ -344,48 +450,62 @@ SCALING_HEADERS = [
 ]
 
 
+def scaling_specs(
+    profile: ExperimentProfile,
+    flop_counts: Sequence[int] = (12, 20, 36, 60),
+    key_bits: int = 8,
+    n_seeds: int | None = None,
+) -> list[JobSpec]:
+    """Enumerate the (flop count x seed) grid of the scaling study."""
+    seeds = n_seeds if n_seeds is not None else profile.n_seeds
+    return [
+        JobSpec.make(
+            "scaling",
+            profile,
+            n_flops=n_flops,
+            seed_index=seed_index,
+            key_bits=key_bits,
+        )
+        for n_flops in flop_counts
+        for seed_index in range(seeds)
+    ]
+
+
+def scaling_rows(outcomes: Sequence[JobOutcome]) -> list[ScalingRow]:
+    """Average per-seed scaling cells into per-flop-count rows."""
+    grouped: dict[int, list[dict]] = {}
+    for outcome in outcomes:
+        grouped.setdefault(outcome.spec.params["n_flops"], []).append(
+            outcome.result
+        )
+    rows = []
+    for n_flops, cells in grouped.items():
+        rows.append(
+            ScalingRow(
+                n_flops=n_flops,
+                key_bits=cells[0]["key_bits"],
+                n_seed_candidates=mean(c["n_seed_candidates"] for c in cells),
+                n_iterations=mean(c["iterations"] for c in cells),
+                time_s=mean(c["time_s"] for c in cells),
+            )
+        )
+    return rows
+
+
 def run_flop_scaling(
     profile: ExperimentProfile,
     flop_counts: Sequence[int] = (12, 20, 36, 60),
     key_bits: int = 8,
     n_seeds: int | None = None,
     progress: ProgressFn = _noop_progress,
+    *,
+    jobs: int = 1,
+    store: ResultStore | None = None,
 ) -> list[ScalingRow]:
     """Fixed key width, growing chains: candidates shrink, time grows."""
-    from repro.bench_suite.generator import GeneratorConfig, generate_circuit
-
-    seeds = n_seeds if n_seeds is not None else profile.n_seeds
-    rows: list[ScalingRow] = []
-    for n_flops in flop_counts:
-        candidates, iterations, times = [], [], []
-        for seed_index in range(seeds):
-            rng = random.Random(hash_label(seed_index, f"scaling/{n_flops}"))
-            config = GeneratorConfig(n_flops=n_flops, n_inputs=6, n_outputs=6)
-            netlist = generate_circuit(config, rng, name=f"scale{n_flops}")
-            lock = lock_with_effdyn(netlist, key_bits=key_bits, rng=rng)
-            result = dynunlock(
-                netlist,
-                lock.public_view(),
-                lock.make_oracle(),
-                DynUnlockConfig(timeout_s=profile.timeout_s),
-            )
-            candidates.append(result.n_seed_candidates)
-            iterations.append(result.iterations)
-            times.append(result.runtime_s)
-            progress(
-                f"scaling flops={n_flops} seed={seed_index}: "
-                f"cands={result.n_seed_candidates} t={result.runtime_s:.1f}s"
-            )
-        rows.append(
-            ScalingRow(
-                n_flops=n_flops,
-                key_bits=key_bits,
-                n_seed_candidates=mean(candidates),
-                n_iterations=mean(iterations),
-                time_s=mean(times),
-            )
-        )
-    return rows
+    specs = scaling_specs(profile, flop_counts, key_bits, n_seeds)
+    outcomes = _run_grid(specs, progress, jobs, store)
+    return scaling_rows(outcomes)
 
 
 # ----------------------------------------------------------------------
@@ -394,6 +514,7 @@ def run_flop_scaling(
 @dataclass
 class AblationRow:
     """One PRNG variant of the Section V limitation study."""
+
     prng: str
     modeled_correctly: bool
     attack_success: bool
@@ -411,11 +532,39 @@ class AblationRow:
 ABLATION_HEADERS = ["PRNG", "Linear model valid", "Attack success", "Exact seed"]
 
 
+def ablation_specs(
+    profile: ExperimentProfile, n_flops: int = 10, key_bits: int = 5
+) -> list[JobSpec]:
+    """Enumerate the LFSR-vs-nonlinear pair of the Section V ablation."""
+    return [
+        JobSpec.make(
+            "ablation", profile, prng=prng, n_flops=n_flops, key_bits=key_bits
+        )
+        for prng in ("lfsr", "nonlinear-filter")
+    ]
+
+
+def ablation_rows(outcomes: Sequence[JobOutcome]) -> list[AblationRow]:
+    """Shape ablation cells into rows (one per PRNG variant)."""
+    return [
+        AblationRow(
+            prng=o.result["prng"],
+            modeled_correctly=o.result["modeled_correctly"],
+            attack_success=o.result["attack_success"],
+            exact_seed=o.result["exact_seed"],
+        )
+        for o in outcomes
+    ]
+
+
 def run_nonlinear_ablation(
     profile: ExperimentProfile,
     n_flops: int = 10,
     key_bits: int = 5,
     progress: ProgressFn = _noop_progress,
+    *,
+    jobs: int = 1,
+    store: ResultStore | None = None,
 ) -> list[AblationRow]:
     """LFSR vs nonlinear filter PRNG: the attack's stated limitation.
 
@@ -424,67 +573,39 @@ def run_nonlinear_ablation(
     same taps public), the linear model mispredicts and the refinement
     step rejects every candidate -- reproducing Section V's discussion.
     """
-    from repro.bench_suite.generator import GeneratorConfig, generate_circuit
-    from repro.core.modeling import build_combinational_model
-    from repro.locking.effdyn import EffDynLock
-    from repro.prng.nonlinear import NonlinearPrng
-    from repro.scan.oracle import ScanOracle
-    from repro.sim.logicsim import CombinationalSimulator
-    from repro.util.bitvec import random_bits
+    specs = ablation_specs(profile, n_flops, key_bits)
+    outcomes = _run_grid(specs, progress, jobs, store)
+    return ablation_rows(outcomes)
 
-    rng = random.Random(hash_label(0, "ablation/nonlinear"))
-    config = GeneratorConfig(n_flops=n_flops, n_inputs=4, n_outputs=3)
-    netlist = generate_circuit(config, rng, name="ablation")
-    lock = lock_with_effdyn(netlist, key_bits=key_bits, rng=rng)
 
-    rows: list[AblationRow] = []
-    for prng_name in ("lfsr", "nonlinear-filter"):
-        if prng_name == "lfsr":
-            oracle = lock.make_oracle()
-        else:
-            oracle = ScanOracle(
-                netlist,
-                lock.spec,
-                NonlinearPrng(
-                    width=key_bits, seed_bits=list(lock.seed), taps=lock.lfsr_taps
-                ),
-            )
-        # Model validity probe: does the linear model with the true seed
-        # reproduce the oracle?
-        model = build_combinational_model(
-            netlist, lock.spec, lock.lfsr_taps, key_bits
-        )
-        sim = CombinationalSimulator(model.netlist)
-        probe_rng = random.Random(1)
-        model_valid = True
-        for _ in range(6):
-            pattern = random_bits(n_flops, probe_rng)
-            pis = random_bits(len(netlist.inputs), probe_rng)
-            response = oracle.query(pattern, pis)
-            inputs = dict(zip(model.a_inputs, pattern))
-            inputs.update(zip(model.pi_inputs, pis))
-            inputs.update(zip(model.key_inputs, lock.seed))
-            values = sim.run(inputs)
-            if [values[n] for n in model.b_outputs] != response.scan_out:
-                model_valid = False
-                break
+# ----------------------------------------------------------------------
+# The grid registry: everything `dynunlock run` can fan out
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class GridExperiment:
+    """One named experiment: spec enumeration plus row aggregation."""
 
-        result = dynunlock(
-            netlist,
-            lock.public_view(),
-            oracle,
-            DynUnlockConfig(timeout_s=profile.timeout_s),
-        )
-        rows.append(
-            AblationRow(
-                prng=prng_name,
-                modeled_correctly=model_valid,
-                attack_success=result.success,
-                exact_seed=result.recovered_seed == list(lock.seed),
-            )
-        )
-        progress(
-            f"ablation {prng_name}: model_valid={model_valid} "
-            f"success={result.success}"
-        )
-    return rows
+    name: str
+    title: str
+    headers: list[str]
+    build_specs: Callable[..., list[JobSpec]]
+    aggregate: Callable[[Sequence[JobOutcome]], list]
+
+
+GRID: dict[str, GridExperiment] = {
+    "table1": GridExperiment(
+        "table1", "Table I", TABLE1_HEADERS, table1_specs, table1_rows
+    ),
+    "table2": GridExperiment(
+        "table2", "Table II", TABLE2_HEADERS, table2_specs, table2_rows
+    ),
+    "table3": GridExperiment(
+        "table3", "Table III", TABLE3_HEADERS, table3_specs, table3_rows
+    ),
+    "scaling": GridExperiment(
+        "scaling", "Flop scaling", SCALING_HEADERS, scaling_specs, scaling_rows
+    ),
+    "ablation": GridExperiment(
+        "ablation", "PRNG ablation", ABLATION_HEADERS, ablation_specs, ablation_rows
+    ),
+}

@@ -18,7 +18,7 @@ Select with the ``REPRO_PROFILE`` environment variable.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass
 
 
 @dataclass(frozen=True)
@@ -64,6 +64,25 @@ PROFILES: dict[str, ExperimentProfile] = {
         table3_key_sizes=tuple(range(144, 369, 16)),
     ),
 }
+
+
+def profile_to_dict(profile: ExperimentProfile) -> dict:
+    """JSON-safe encoding of a profile (tuples become lists).
+
+    This is what gets embedded in a :class:`repro.runner.spec.JobSpec`,
+    so *every* field participates in the cache key -- changing a
+    timeout, seed count, or scale invalidates affected cells.
+    """
+    data = asdict(profile)
+    data["table3_key_sizes"] = list(profile.table3_key_sizes)
+    return data
+
+
+def profile_from_dict(data: dict) -> ExperimentProfile:
+    """Inverse of :func:`profile_to_dict` (used inside worker processes)."""
+    fields = dict(data)
+    fields["table3_key_sizes"] = tuple(fields["table3_key_sizes"])
+    return ExperimentProfile(**fields)
 
 
 def active_profile() -> ExperimentProfile:

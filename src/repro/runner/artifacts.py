@@ -1,0 +1,66 @@
+"""Structured result artifacts: one JSON + CSV pair per experiment run.
+
+The emitter writes ``BENCH_<experiment>.json`` (headers, row cells, and
+a ``meta`` block with timing/cache accounting) and a sibling ``.csv``
+with the same grid, into a ``results/`` directory of the caller's
+choosing.  The JSON is the machine-readable record CI uploads and diffs
+against the checked-in baseline (``scripts/check_bench_regression.py``);
+:func:`repro.reports.tables.render_artifact` turns either file's data
+back into the paper-style text table.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Any, Sequence
+
+ARTIFACT_FORMAT = "dynunlock-artifact/1"
+
+
+def artifact_paths(directory: str | Path, experiment: str) -> tuple[Path, Path]:
+    """The (json, csv) file pair an experiment's artifact occupies."""
+    base = Path(directory) / f"BENCH_{experiment}"
+    return base.with_suffix(".json"), base.with_suffix(".csv")
+
+
+def write_artifact(
+    directory: str | Path,
+    experiment: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    *,
+    title: str | None = None,
+    profile: str | None = None,
+    meta: dict[str, Any] | None = None,
+) -> Path:
+    """Write the JSON + CSV pair for one finished grid; returns the JSON path."""
+    json_path, csv_path = artifact_paths(directory, experiment)
+    json_path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "format": ARTIFACT_FORMAT,
+        "experiment": experiment,
+        "title": title,
+        "profile": profile,
+        "headers": list(headers),
+        "rows": [list(row) for row in rows],
+        "meta": dict(meta or {}),
+    }
+    json_path.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+    with csv_path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(list(headers))
+        writer.writerows([list(row) for row in rows])
+    return json_path
+
+
+def load_artifact(path: str | Path) -> dict[str, Any]:
+    """Read an artifact JSON back, validating its format marker."""
+    data = json.loads(Path(path).read_text())
+    if data.get("format") != ARTIFACT_FORMAT:
+        raise ValueError(
+            f"{path} is not a {ARTIFACT_FORMAT} artifact "
+            f"(format={data.get('format')!r})"
+        )
+    return data

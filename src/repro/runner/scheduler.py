@@ -1,0 +1,232 @@
+"""Fan an experiment grid out across cores, memoising finished cells.
+
+:func:`run_jobs` is the one entry point: give it a list of
+:class:`~repro.runner.spec.JobSpec` and it returns one
+:class:`JobOutcome` per spec *in input order*, regardless of completion
+order -- so aggregation code downstream never sees scheduling
+nondeterminism.  Features:
+
+* ``jobs=1`` runs serially in-process (no pickling, easy debugging);
+  ``jobs>1`` uses a :class:`~concurrent.futures.ProcessPoolExecutor`.
+* A :class:`~repro.runner.store.ResultStore` short-circuits cells whose
+  (spec hash, code version) pair is already on disk, and absorbs every
+  freshly computed cell -- an interrupted grid resumes where it stopped.
+* Per-job ``timeout_s`` (enforced by an interval timer inside the
+  worker) and ``retries`` re-submissions for transient failures
+  (default 0: cells are deterministic, so an identical resubmission
+  usually just doubles the cost of a real failure -- and with a store,
+  simply re-running the grid retries the failed cells anyway).
+* ``progress`` receives every :class:`JobOutcome` as it lands, cached or
+  computed, for streaming CLI/bench output.
+
+Failures never raise mid-grid: they land in ``JobOutcome.error`` so one
+bad cell cannot waste the rest of a long run.  Call
+:meth:`RunReport.raise_on_error` (or use ``RunReport.results``) when
+partial grids are unacceptable.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.runner.spec import JobSpec
+from repro.runner.store import ResultStore
+from repro.runner.worker import execute_job
+
+ProgressFn = Callable[["JobOutcome"], None]
+
+
+class RunnerError(RuntimeError):
+    """Raised by :meth:`RunReport.raise_on_error` when any cell failed."""
+
+
+@dataclass
+class JobOutcome:
+    """What happened to one spec: a result, a cache hit, or an error."""
+
+    index: int
+    spec: JobSpec
+    result: dict | None
+    cached: bool = False
+    attempts: int = 0
+    duration_s: float = 0.0
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        """Whether the cell produced a result (cached or computed)."""
+        return self.result is not None
+
+
+@dataclass
+class RunReport:
+    """All outcomes of one grid, in input order, plus wall-clock totals."""
+
+    outcomes: list[JobOutcome] = field(default_factory=list)
+    wall_s: float = 0.0
+
+    @property
+    def n_cached(self) -> int:
+        """Cells served from the result store."""
+        return sum(1 for o in self.outcomes if o.cached)
+
+    @property
+    def n_computed(self) -> int:
+        """Cells freshly executed this run."""
+        return sum(1 for o in self.outcomes if o.ok and not o.cached)
+
+    @property
+    def n_failed(self) -> int:
+        """Cells that errored out even after retries."""
+        return sum(1 for o in self.outcomes if not o.ok)
+
+    def raise_on_error(self) -> None:
+        """Raise :class:`RunnerError` naming every failed cell, if any."""
+        failed = [o for o in self.outcomes if not o.ok]
+        if failed:
+            detail = "; ".join(f"{o.spec.label}: {o.error}" for o in failed[:5])
+            more = f" (+{len(failed) - 5} more)" if len(failed) > 5 else ""
+            raise RunnerError(f"{len(failed)} job(s) failed: {detail}{more}")
+
+    @property
+    def results(self) -> list[dict]:
+        """Result dicts in spec order; raises if any cell failed."""
+        self.raise_on_error()
+        return [o.result for o in self.outcomes]  # type: ignore[misc]
+
+    def summary(self) -> str:
+        """One-line ``computed/cached/failed`` accounting for CLIs."""
+        return (
+            f"{len(self.outcomes)} job(s): {self.n_computed} computed, "
+            f"{self.n_cached} cached, {self.n_failed} failed "
+            f"in {self.wall_s:.2f}s wall"
+        )
+
+
+def _emit(progress: ProgressFn | None, outcome: JobOutcome) -> None:
+    if progress is not None:
+        progress(outcome)
+
+
+def run_jobs(
+    specs: Sequence[JobSpec],
+    *,
+    jobs: int = 1,
+    store: ResultStore | None = None,
+    timeout_s: float | None = None,
+    retries: int = 0,
+    progress: ProgressFn | None = None,
+) -> RunReport:
+    """Execute a grid of specs; see the module docstring for semantics."""
+    started = time.perf_counter()
+    report = RunReport(
+        outcomes=[JobOutcome(index=i, spec=s, result=None) for i, s in enumerate(specs)]
+    )
+
+    pending: list[int] = []
+    for outcome in report.outcomes:
+        hit = store.get(outcome.spec) if store is not None else None
+        if hit is not None:
+            outcome.result = hit
+            outcome.cached = True
+            _emit(progress, outcome)
+        else:
+            pending.append(outcome.index)
+
+    if pending:
+        if jobs <= 1:
+            _run_serial(report, pending, store, timeout_s, retries, progress)
+        else:
+            _run_parallel(report, pending, jobs, store, timeout_s, retries, progress)
+
+    report.wall_s = time.perf_counter() - started
+    return report
+
+
+def _finish(
+    report: RunReport,
+    index: int,
+    payload: dict,
+    store: ResultStore | None,
+    progress: ProgressFn | None,
+) -> None:
+    outcome = report.outcomes[index]
+    outcome.result = payload["result"]
+    outcome.duration_s = payload["duration_s"]
+    if store is not None:
+        store.put(outcome.spec, outcome.result, duration_s=outcome.duration_s)
+    _emit(progress, outcome)
+
+
+def _fail(
+    report: RunReport,
+    index: int,
+    exc: BaseException,
+    progress: ProgressFn | None,
+) -> None:
+    outcome = report.outcomes[index]
+    outcome.error = f"{type(exc).__name__}: {exc}"
+    _emit(progress, outcome)
+
+
+def _run_serial(
+    report: RunReport,
+    pending: Sequence[int],
+    store: ResultStore | None,
+    timeout_s: float | None,
+    retries: int,
+    progress: ProgressFn | None,
+) -> None:
+    for index in pending:
+        outcome = report.outcomes[index]
+        last_exc: BaseException | None = None
+        for _ in range(retries + 1):
+            outcome.attempts += 1
+            try:
+                payload = execute_job(outcome.spec.to_dict(), timeout_s)
+            except Exception as exc:
+                last_exc = exc
+            else:
+                _finish(report, index, payload, store, progress)
+                last_exc = None
+                break
+        if last_exc is not None:
+            _fail(report, index, last_exc, progress)
+
+
+def _run_parallel(
+    report: RunReport,
+    pending: Sequence[int],
+    jobs: int,
+    store: ResultStore | None,
+    timeout_s: float | None,
+    retries: int,
+    progress: ProgressFn | None,
+) -> None:
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+
+        def submit(index: int):
+            report.outcomes[index].attempts += 1
+            spec_dict = report.outcomes[index].spec.to_dict()
+            return pool.submit(execute_job, spec_dict, timeout_s)
+
+        futures = {submit(index): index for index in pending}
+        while futures:
+            done, _ = wait(set(futures), return_when=FIRST_COMPLETED)
+            for future in done:
+                index = futures.pop(future)
+                try:
+                    payload = future.result()
+                except Exception as exc:
+                    if report.outcomes[index].attempts <= retries:
+                        try:
+                            futures[submit(index)] = index
+                        except Exception as resubmit_exc:
+                            _fail(report, index, resubmit_exc, progress)
+                    else:
+                        _fail(report, index, exc, progress)
+                else:
+                    _finish(report, index, payload, store, progress)

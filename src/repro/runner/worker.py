@@ -1,0 +1,54 @@
+"""The function that runs inside scheduler worker processes.
+
+:func:`execute_job` is the single entry point a
+:class:`~concurrent.futures.ProcessPoolExecutor` invokes: it takes a
+pickled spec dict (not a :class:`JobSpec` -- plain dicts survive every
+start method), resolves the cell function by experiment name, enforces
+the per-job wall-clock budget with ``SIGALRM`` where the platform has
+it, and returns the cell's JSON-safe result plus the measured duration.
+
+The cell registry import happens lazily inside the function so that
+``repro.runner`` never imports ``repro.reports`` at module load time
+(the reports layer imports the runner, not vice versa).
+"""
+
+from __future__ import annotations
+
+import signal
+import time
+from typing import Any
+
+
+class JobTimeout(Exception):
+    """Raised inside a worker when a cell exceeds its wall-clock budget."""
+
+
+def _alarm_handler(signum, frame):
+    raise JobTimeout("job exceeded its wall-clock budget")
+
+
+def execute_job(spec_dict: dict[str, Any], timeout_s: float | None = None) -> dict:
+    """Run one cell; returns ``{"result": ..., "duration_s": ...}``.
+
+    ``timeout_s`` arms an interval timer that aborts the cell with
+    :class:`JobTimeout` (delivered to the caller as an exception result
+    of the future).  Only the main thread of a process may set signal
+    handlers, which holds for pool workers and for the serial path.
+    """
+    from repro.reports.cells import run_cell
+    from repro.runner.spec import JobSpec
+
+    spec = JobSpec.from_dict(spec_dict)
+    use_alarm = timeout_s is not None and hasattr(signal, "SIGALRM")
+    previous = None
+    start = time.perf_counter()
+    if use_alarm:
+        previous = signal.signal(signal.SIGALRM, _alarm_handler)
+        signal.setitimer(signal.ITIMER_REAL, max(timeout_s, 1e-3))
+    try:
+        result = run_cell(spec)
+    finally:
+        if use_alarm:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, previous)
+    return {"result": result, "duration_s": time.perf_counter() - start}

@@ -11,7 +11,7 @@ clean.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Protocol, Sequence
+from typing import Protocol, Sequence
 
 from repro.netlist.netlist import Netlist, NetlistError
 from repro.scan.chain import ScanChainSpec, shift_in, shift_out, xor_int

@@ -16,7 +16,6 @@ from repro.locking.dfs import lock_with_dfs
 from repro.locking.dos import lock_with_dos
 from repro.locking.eff import lock_with_eff
 from repro.locking.effdyn import lock_with_effdyn
-from repro.sim.logicsim import CombinationalSimulator
 
 
 def synthetic(seed: int, n_flops: int = 8):

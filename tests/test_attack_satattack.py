@@ -10,7 +10,7 @@ from repro.locking.rll import lock_combinational_rll
 from repro.netlist.gates import GateType
 from repro.netlist.netlist import Netlist
 from repro.netlist.transform import extract_combinational_core
-from repro.sim.logicsim import CombinationalSimulator, evaluate
+from repro.sim.logicsim import CombinationalSimulator
 
 
 def make_rll_case(seed: int, key_bits: int = 5):

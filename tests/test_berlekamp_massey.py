@@ -10,7 +10,7 @@ from repro.prng.berlekamp_massey import (
     berlekamp_massey,
     recover_fibonacci_taps,
 )
-from repro.prng.lfsr import FibonacciLfsr, Keystream
+from repro.prng.lfsr import FibonacciLfsr
 from repro.prng.polynomials import default_taps
 from repro.util.bitvec import random_bits
 

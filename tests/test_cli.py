@@ -50,3 +50,45 @@ class TestCommands:
     def test_unknown_benchmark_raises(self):
         with pytest.raises(KeyError):
             main(["info", "nope"])
+
+
+class TestRunnerSurfaces:
+    """The --jobs/--resume/--emit-json flags and the `run` subcommand."""
+
+    def test_runner_flags_parse_with_defaults(self):
+        args = build_parser().parse_args(["table2", "s5378"])
+        assert args.jobs == 1
+        assert args.resume is True
+        assert args.cache_dir is None
+        assert args.emit_json is None
+
+    def test_no_resume_and_jobs(self):
+        args = build_parser().parse_args(
+            ["table2", "s5378", "--jobs", "4", "--no-resume"]
+        )
+        assert args.jobs == 4
+        assert args.resume is False
+
+    def test_run_requires_known_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "tableX"])
+
+    def test_table2_emits_artifacts_and_caches(self, tmp_path, capsys):
+        argv = [
+            "table2", "s5378", "--profile", "quick",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--emit-json", str(tmp_path / "results"),
+        ]
+        assert main(argv) == 0
+        assert (tmp_path / "results" / "BENCH_table2.json").is_file()
+        assert (tmp_path / "results" / "BENCH_table2.csv").is_file()
+        first = capsys.readouterr().out
+        assert main(argv) == 0  # second run: served from cache
+        assert capsys.readouterr().out == first
+
+    def test_run_subcommand_table2_subset(self, tmp_path, capsys):
+        assert main(
+            ["run", "table2", "--benchmarks", "s5378",
+             "--cache-dir", str(tmp_path / "cache")]
+        ) == 0
+        assert "Table II" in capsys.readouterr().out

@@ -2,7 +2,7 @@
 
 import random
 
-from repro.attack.satattack import SatAttack, SatAttackConfig
+from repro.attack.satattack import SatAttack
 from repro.bench_suite.generator import GeneratorConfig, generate_circuit
 from repro.core.cnf_dump import CnfDumper, probe_fixed_key_bits
 from repro.core.modeling import build_combinational_model

@@ -11,7 +11,7 @@ import pytest
 
 from repro.bench_suite.generator import GeneratorConfig, generate_circuit
 from repro.bench_suite.iscas import s27_netlist, s208_like_netlist
-from repro.core.dynunlock import DynUnlock, DynUnlockConfig, dynunlock
+from repro.core.dynunlock import DynUnlockConfig, dynunlock
 from repro.locking.effdyn import lock_with_effdyn
 from repro.util.bitvec import random_bits
 

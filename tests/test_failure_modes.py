@@ -15,7 +15,6 @@ from repro.core.dynunlock import DynUnlockConfig, dynunlock
 from repro.locking.effdyn import EffDynPublicView, lock_with_effdyn
 from repro.prng.polynomials import default_taps
 from repro.scan.chain import ScanChainSpec
-from repro.util.bitvec import random_bits
 
 
 def make_lock(seed: int = 5, n_flops: int = 8, key_bits: int = 4):

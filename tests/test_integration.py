@@ -12,7 +12,6 @@ reproduction trustworthy:
 
 import random
 
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.bench_suite.generator import GeneratorConfig, generate_circuit

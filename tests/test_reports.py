@@ -1,7 +1,5 @@
 """Tests for table rendering, profiles, and fast experiment runners."""
 
-import os
-
 import pytest
 
 from repro.reports.profiles import PROFILES, active_profile

@@ -3,7 +3,6 @@ monolithic solving, learned clauses must persist across calls, clause
 groups must activate/retire correctly, and failed-assumption cores must
 be genuine cores."""
 
-import itertools
 import random
 
 import pytest

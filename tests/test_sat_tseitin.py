@@ -13,7 +13,6 @@ from repro.netlist.transform import extract_combinational_core
 from repro.sat.solver import CdclSolver
 from repro.sat.tseitin import CircuitEncoder
 from repro.sim.logicsim import evaluate
-from repro.util.bitvec import random_bits
 
 
 def single_gate_netlist(gtype: GateType, n_inputs: int) -> Netlist:

@@ -78,7 +78,7 @@ class TestOracleSemantics:
         lock = lock_with_effdyn(netlist, key_bits=2, rng=rng)
         oracle = lock.make_oracle()
         state = [1, 0, 1]
-        locked_response = oracle.query(state)
+        oracle.query(state)
         clean_response = oracle.unlocked_query(state)
         # Obfuscation must still be enabled afterwards.
         assert oracle.obfuscation_enabled

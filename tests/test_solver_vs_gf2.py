@@ -10,7 +10,6 @@ solution counts.
 import random
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.gf2.matrix import GF2Matrix
