@@ -1,9 +1,17 @@
 # Convenience wrappers around the test, bench, and lint suites.
 #
-#   make verify   - tier-1 verification: tests/ + benchmarks/ minus `slow`
-#   make bench    - the slow paper-table regenerations (quick profile)
-#   make test-all - everything, slow included
-#   make lint     - ruff check (whole repo) + ruff format --check (runner)
+#   make verify           - tier-1 verification: tests/ + benchmarks/ minus `slow`
+#   make bench            - the slow paper-table regenerations (quick profile)
+#   make test-all         - everything, slow included
+#   make coverage         - tier-1 under pytest-cov, gated on the checked-in
+#                           floor (benchmarks/baselines/coverage_floor.txt);
+#                           requires pytest-cov
+#   make matrix           - the attack x defense resilience grid (quick)
+#   make refresh-baseline - regenerate the Table II timing baseline from a
+#                           clean (cache-less) quick run and install it at
+#                           benchmarks/baselines/table2_quick.json; review
+#                           the diff and commit it to bless the new budget
+#   make lint             - ruff check (whole repo) + ruff format --check (runner)
 #
 # REPRO_PROFILE=quick|full|paper scales the bench instances (default quick).
 # REPRO_JOBS=N fans each bench's experiment grid across N worker
@@ -12,8 +20,10 @@
 PYTHON ?= python
 PYTEST = PYTHONPATH=src $(PYTHON) -m pytest
 RUFF ?= ruff
+COVERAGE_FLOOR = benchmarks/baselines/coverage_floor.txt
+BASELINE_DIR = .bench_refresh
 
-.PHONY: verify bench test-all lint
+.PHONY: verify bench test-all coverage matrix refresh-baseline lint
 
 verify:
 	$(PYTEST) -x -q
@@ -26,6 +36,24 @@ bench:
 
 test-all:
 	$(PYTEST) -m "slow or not slow" -q
+
+coverage:
+	$(PYTEST) -q --cov=repro --cov-report=term-missing \
+	  --cov-fail-under="$$(cat $(COVERAGE_FLOOR))"
+
+matrix:
+	PYTHONPATH=src $(PYTHON) -m repro.cli matrix --profile quick \
+	  --jobs $${REPRO_JOBS:-1}
+
+# The regression gate compares against this artifact's meta block, so it
+# must come from a cache-less run (--no-resume) to carry fresh timings.
+refresh-baseline:
+	rm -rf $(BASELINE_DIR)
+	PYTHONPATH=src $(PYTHON) -m repro.cli table2 --profile quick \
+	  --jobs $${REPRO_JOBS:-1} --no-resume --emit-json $(BASELINE_DIR)
+	cp $(BASELINE_DIR)/BENCH_table2.json benchmarks/baselines/table2_quick.json
+	rm -rf $(BASELINE_DIR)
+	@echo "baseline updated: review 'git diff benchmarks/baselines' and commit"
 
 lint:
 	$(RUFF) check .

@@ -7,6 +7,8 @@
 * :mod:`repro.attack.scansat_dyn` — the DOS adjustment (per-pattern keys).
 * :mod:`repro.attack.shift_and_leak` — simplified shift-and-leak vs DFS.
 * :mod:`repro.attack.bruteforce` — candidate refinement by oracle replay.
+* :mod:`repro.attack.scramble_sat` — SAT attack on keyed scan-chain
+  scrambling (the :mod:`repro.locking.scramble` extension).
 
 DynUnlock itself lives in :mod:`repro.core` (it is the paper's
 contribution); it composes the modeling step with this SAT attack engine.
@@ -17,9 +19,12 @@ from repro.attack.scansat import scansat_attack, ScanSatResult
 from repro.attack.scansat_dyn import scansat_dyn_attack
 from repro.attack.shift_and_leak import shift_and_leak_attack
 from repro.attack.bruteforce import refine_candidates_by_replay
+from repro.attack.scramble_sat import ScrambleSatResult, scramble_sat_attack
 from repro.attack.appsat import AppSat, AppSatConfig, AppSatResult
 
 __all__ = [
+    "ScrambleSatResult",
+    "scramble_sat_attack",
     "SatAttack",
     "SatAttackConfig",
     "SatAttackResult",

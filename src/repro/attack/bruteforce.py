@@ -21,8 +21,34 @@ from dataclasses import dataclass
 from typing import Callable, Sequence
 
 from repro.core.modeling import CombinationalModel
+from repro.netlist.netlist import Netlist
 from repro.sim.logicsim import BitParallelSimulator, broadcast_inputs
 from repro.util.bitvec import broadcast_bit, lane_mask, pack_lanes, random_bits
+
+
+@dataclass
+class ReplayModel:
+    """The structural contract :func:`refine_candidates_by_replay` needs.
+
+    A minimal stand-in for :class:`~repro.core.modeling.CombinationalModel`
+    for attacks whose locked circuit is not a scan-overlay model -- the
+    scramble MUX model and the brute-force adapters both build one.
+    """
+
+    netlist: Netlist
+    a_inputs: list[str]
+    pi_inputs: list[str]
+    key_inputs: list[str]
+    b_outputs: list[str]
+    po_outputs: list[str]
+
+    @property
+    def x_inputs(self) -> list[str]:
+        return self.a_inputs + self.pi_inputs
+
+    @property
+    def observed_outputs(self) -> list[str]:
+        return self.b_outputs + self.po_outputs
 
 
 @dataclass

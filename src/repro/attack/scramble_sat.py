@@ -1,0 +1,181 @@
+"""SAT attack on keyed scan-chain scrambling.
+
+The scramble defense (:mod:`repro.locking.scramble`) routes the tester's
+scan slots through key-controlled chain swaps.  Because the permutation
+is static per key, one oracle query collapses to a combinational map
+
+    observed = P_k( F( P_k(pattern), PI ) )
+
+with ``P_k`` the key-selected involution and ``F`` the circuit's
+next-state/output core.  That is a plain MUX-locked combinational
+circuit: each swappable position becomes a 2:1 multiplexer selected by
+its key bit, on the way in (driving the core's pseudo-primary inputs)
+and again on the way out (reading its pseudo-primary outputs).  The
+standard oracle-guided SAT attack then recovers the routing key, and
+bit-parallel oracle replay verifies the survivors -- the same two-stage
+shape as ScanSAT on static EFF.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.attack.bruteforce import ReplayModel, refine_candidates_by_replay
+from repro.attack.satattack import SatAttack, SatAttackConfig
+from repro.locking.scramble import ScrambleLock, ScramblePublicView
+from repro.netlist.gates import GateType
+from repro.netlist.netlist import Netlist
+from repro.netlist.transform import extract_combinational_core
+from repro.scan.oracle import ScanResponse
+from repro.util.timing import Stopwatch
+
+
+def build_scramble_model(
+    netlist: Netlist, view: ScramblePublicView
+) -> ReplayModel:
+    """Build the MUX-locked model of one scrambled-scan query."""
+    chains = view.chains
+    if chains.n_flops != netlist.n_dffs:
+        raise ValueError("chain geometry does not match the netlist flop count")
+    n = chains.n_flops
+    core, _, _ = extract_combinational_core(netlist)
+
+    # partner[g] = (partner index, key bit) for swappable positions.
+    partner: dict[int, tuple[int, int]] = {}
+    for t, (c1, c2) in enumerate(view.swap_pairs):
+        base1 = chains.flop_index(c1, 0)
+        base2 = chains.flop_index(c2, 0)
+        for p in range(chains.chain_lengths[c1]):
+            partner[base1 + p] = (base2 + p, t)
+            partner[base2 + p] = (base1 + p, t)
+
+    model = Netlist(name=f"{netlist.name}_scramble_model")
+    a_inputs = [f"scr_a{g}" for g in range(n)]
+    for net in a_inputs:
+        model.add_input(net)
+    pi_inputs = list(netlist.inputs)
+    for net in pi_inputs:
+        model.add_input(net)
+    key_inputs = [f"scr_key{t}" for t in range(view.key_bits)]
+    for net in key_inputs:
+        model.add_input(net)
+
+    # Routing-in MUXes drive the core's pseudo-primary inputs directly
+    # (the core's ppi_* names become gate outputs here, not inputs).
+    for g in range(n):
+        if g in partner:
+            other, t = partner[g]
+            model.add_gate(
+                f"ppi_{g}",
+                GateType.MUX,
+                [key_inputs[t], a_inputs[g], a_inputs[other]],
+            )
+        else:
+            model.add_gate(f"ppi_{g}", GateType.BUF, [a_inputs[g]])
+
+    for gate in core.gates.values():
+        model.add_gate(gate.output, gate.gtype, gate.inputs)
+
+    # Routing-out MUXes read the captured state back through the same
+    # permutation (the swap is an involution, so in/out share the map).
+    b_outputs = [f"scr_b{g}" for g in range(n)]
+    for g in range(n):
+        if g in partner:
+            other, t = partner[g]
+            model.add_gate(
+                b_outputs[g],
+                GateType.MUX,
+                [key_inputs[t], f"ppo_{g}", f"ppo_{other}"],
+            )
+        else:
+            model.add_gate(b_outputs[g], GateType.BUF, [f"ppo_{g}"])
+        model.add_output(b_outputs[g])
+
+    po_outputs = []
+    for net in netlist.outputs:
+        model.add_output(net)
+        po_outputs.append(net)
+
+    return ReplayModel(
+        netlist=model,
+        a_inputs=a_inputs,
+        pi_inputs=pi_inputs,
+        key_inputs=key_inputs,
+        b_outputs=b_outputs,
+        po_outputs=po_outputs,
+    )
+
+
+@dataclass
+class ScrambleSatResult:
+    """Outcome of the scramble-SAT run: the recovered routing key."""
+
+    success: bool
+    recovered_key: list[int] | None
+    key_candidates: list[list[int]]
+    iterations: int
+    runtime_s: float
+
+
+def scramble_sat_attack(
+    netlist: Netlist,
+    public_view: ScramblePublicView,
+    oracle,
+    candidate_limit: int = 256,
+    verify_patterns: int = 16,
+    timeout_s: float | None = None,
+    rng_seed: int = 0x5C2A,
+) -> ScrambleSatResult:
+    """Recover a scramble routing key through the scan oracle."""
+    watch = Stopwatch().start()
+    model = build_scramble_model(netlist, public_view)
+    n_a = len(model.a_inputs)
+
+    def observe(response: ScanResponse) -> list[int]:
+        observed = list(response.scan_out)
+        if model.po_outputs:
+            observed += list(response.primary_outputs)
+        return observed
+
+    def oracle_fn(x_bits: list[int]) -> list[int]:
+        return observe(oracle.query(x_bits[:n_a], x_bits[n_a:]))
+
+    attack = SatAttack(
+        locked=model.netlist,
+        key_inputs=model.key_inputs,
+        oracle_fn=oracle_fn,
+        config=SatAttackConfig(
+            candidate_limit=candidate_limit, timeout_s=timeout_s
+        ),
+    )
+    result = attack.run()
+
+    recovered: list[int] | None = None
+    if result.key_candidates:
+        rng = random.Random(rng_seed)
+
+        def replay(scan_in: list[int], pi: list[int]) -> list[int]:
+            return observe(oracle.query(scan_in, pi))
+
+        refinement = refine_candidates_by_replay(
+            model, result.key_candidates, replay, rng, n_patterns=verify_patterns
+        )
+        if refinement.survivors:
+            recovered = refinement.survivors[0]
+
+    watch.stop()
+    return ScrambleSatResult(
+        success=recovered is not None,
+        recovered_key=recovered,
+        key_candidates=result.key_candidates,
+        iterations=result.iterations,
+        runtime_s=watch.total,
+    )
+
+
+def scramble_sat_on_lock(lock: ScrambleLock, **kwargs) -> ScrambleSatResult:
+    """Convenience wrapper used by the matrix registry and tests."""
+    return scramble_sat_attack(
+        lock.netlist, lock.public_view(), lock.make_oracle(), **kwargs
+    )

@@ -79,6 +79,22 @@ def get_benchmark(name: str) -> BenchmarkSpec:
         ) from None
 
 
+def smallest_benchmarks(n: int = 2, scale: int = 1) -> list[str]:
+    """The ``n`` registry benchmarks with the fewest *scaled* flops.
+
+    Ties (common at high scales, where the 16-flop floor kicks in) break
+    by name, so the selection is deterministic -- the matrix grid and
+    the CI smoke job both lean on that.
+    """
+    def scaled_flops(spec: BenchmarkSpec) -> int:
+        return spec.generator_config(scale).n_flops
+
+    ranked = sorted(
+        PAPER_BENCHMARKS.values(), key=lambda s: (scaled_flops(s), s.name)
+    )
+    return [spec.name for spec in ranked[:n]]
+
+
 def build_benchmark_netlist(name: str, scale: int = 1) -> Netlist:
     """Materialise the named benchmark (deterministic per name+scale)."""
     spec = get_benchmark(name)

@@ -8,7 +8,15 @@ Subcommands mirror the library's main entry points::
     dynunlock table1|table2|table3        # regenerate the paper tables
     dynunlock scaling                     # Section IV scalability study
     dynunlock ablation                    # Section V nonlinear-PRNG study
+    dynunlock matrix                      # attack x defense resilience grid
     dynunlock run table2 scaling --jobs 4 # several grids through the runner
+
+``dynunlock matrix`` executes every applicable (attack, defense) pair
+from the plugin registry over the smallest registry benchmarks, prints
+the resilience grid (verdicts ``broken``/``resilient``/``partial``/
+``n/a``), and exits non-zero when a measured verdict disagrees with the
+paper's Table I expectations (``--no-check-paper`` to disable).
+``--attacks/--defenses/--benchmarks`` filter the grid.
 
 All table commands accept ``--profile quick|full|paper`` (or the
 ``REPRO_PROFILE`` environment variable) plus the runner surfaces:
@@ -64,6 +72,47 @@ def _store_from_args(args: argparse.Namespace) -> ResultStore | None:
     return ResultStore(getattr(args, "cache_dir", None))
 
 
+def _emit_artifact(
+    args: argparse.Namespace,
+    name: str,
+    headers,
+    row_cells,
+    *,
+    title: str,
+    profile_name: str,
+    report,
+    extra_meta: dict | None = None,
+) -> None:
+    """Write the BENCH_* JSON/CSV pair when ``--emit-json`` was given.
+
+    One meta block for every grid command, so artifact consumers
+    (``scripts/check_bench_regression.py``, CI) see a uniform shape.
+    """
+    if not getattr(args, "emit_json", None):
+        return
+    times = [o.result.get("time_s", 0.0) for o in report.outcomes]
+    meta = {
+        "jobs": _jobs_from_args(args),
+        "n_jobs_total": len(report.outcomes),
+        "n_cached": report.n_cached,
+        "n_computed": report.n_computed,
+        "total_attack_time_s": sum(times),
+        "wall_s": report.wall_s,
+        "code_version": code_version()[:20],
+    }
+    meta.update(extra_meta or {})
+    path = write_artifact(
+        args.emit_json,
+        name,
+        headers,
+        row_cells,
+        title=title,
+        profile=profile_name,
+        meta=meta,
+    )
+    print(f"  [=] wrote {path}", file=sys.stderr)
+
+
 def _run_experiment(args: argparse.Namespace, name: str, **spec_kwargs) -> int:
     """Run one named grid through the scheduler and print/emit its table."""
     experiment = GRID[name]
@@ -79,26 +128,15 @@ def _run_experiment(args: argparse.Namespace, name: str, **spec_kwargs) -> int:
     title = f"{experiment.title} (profile={profile.name})"
     print(render_table(experiment.headers, [r.as_cells() for r in rows], title=title))
     print(f"  [=] {report.summary()}", file=sys.stderr)
-    if getattr(args, "emit_json", None):
-        times = [o.result.get("time_s", 0.0) for o in report.outcomes]
-        path = write_artifact(
-            args.emit_json,
-            name,
-            experiment.headers,
-            [r.as_cells() for r in rows],
-            title=title,
-            profile=profile.name,
-            meta={
-                "jobs": _jobs_from_args(args),
-                "n_jobs_total": len(report.outcomes),
-                "n_cached": report.n_cached,
-                "n_computed": report.n_computed,
-                "total_attack_time_s": sum(times),
-                "wall_s": report.wall_s,
-                "code_version": code_version()[:20],
-            },
-        )
-        print(f"  [=] wrote {path}", file=sys.stderr)
+    _emit_artifact(
+        args,
+        name,
+        experiment.headers,
+        [r.as_cells() for r in rows],
+        title=title,
+        profile_name=profile.name,
+        report=report,
+    )
     return 0
 
 
@@ -221,6 +259,83 @@ def cmd_ablation(args: argparse.Namespace) -> int:
     return _run_experiment(args, "ablation")
 
 
+def cmd_matrix(args: argparse.Namespace) -> int:
+    """``dynunlock matrix``: run the attack x defense resilience grid."""
+    from repro.matrix.grid import (
+        PAPER_EXPECTATIONS,
+        check_against_paper,
+        run_matrix,
+    )
+    from repro.matrix.registry import attack_names, defense_names
+    from repro.reports.experiments import GRID
+
+    profile = _profile_from_args(args)
+    attacks = args.attacks or None
+    defenses = args.defenses or None
+    unknown = [a for a in (attacks or []) if a not in attack_names()]
+    unknown += [d for d in (defenses or []) if d not in defense_names()]
+    if unknown:
+        print(
+            f"unknown attack/defense name(s): {', '.join(unknown)}; "
+            f"attacks: {', '.join(attack_names())}; "
+            f"defenses: {', '.join(defense_names())}",
+            file=sys.stderr,
+        )
+        return 2
+    bad_benchmarks = [b for b in args.benchmarks if b not in PAPER_BENCHMARKS]
+    if bad_benchmarks:
+        print(
+            f"unknown benchmark(s): {', '.join(bad_benchmarks)}; "
+            f"known: {', '.join(PAPER_BENCHMARKS)}",
+            file=sys.stderr,
+        )
+        return 2
+    rows, report = run_matrix(
+        profile,
+        _progress,
+        jobs=_jobs_from_args(args),
+        store=_store_from_args(args),
+        attacks=attacks,
+        defenses=defenses,
+        benchmarks=args.benchmarks or None,
+    )
+    title = f"Attack x defense resilience matrix (profile={profile.name})"
+    headers = GRID["matrix"].headers
+    print(render_table(headers, [r.as_cells() for r in rows], title=title))
+    print(f"  [=] {report.summary()}", file=sys.stderr)
+
+    mismatches = check_against_paper(rows) if args.check_paper else []
+    _emit_artifact(
+        args,
+        "matrix",
+        headers,
+        [r.as_cells() for r in rows],
+        title=title,
+        profile_name=profile.name,
+        report=report,
+        extra_meta={
+            "verdicts": {f"{r.attack}|{r.defense}": r.verdict for r in rows},
+            # None (not 0) when the check was disabled, so artifact
+            # consumers can tell "clean" from "never ran".
+            "paper_checked": bool(args.check_paper),
+            "n_paper_mismatches": len(mismatches) if args.check_paper else None,
+        },
+    )
+    for mismatch in mismatches:
+        print(f"  [!] paper disagreement: {mismatch}", file=sys.stderr)
+    if mismatches:
+        return 1
+    if args.check_paper:
+        checked = sum(
+            1 for r in rows if (r.attack, r.defense) in PAPER_EXPECTATIONS
+        )
+        print(
+            f"  [=] paper check: {checked} pair(s) agree with Table I",
+            file=sys.stderr,
+        )
+    return 0
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     """``dynunlock run``: push one or more experiment grids through the runner."""
     names = list(GRID) if "all" in args.experiments else args.experiments
@@ -317,6 +432,31 @@ def build_parser() -> argparse.ArgumentParser:
         add_profile(p)
         add_runner(p)
         p.set_defaults(func=func)
+
+    p = sub.add_parser(
+        "matrix", help="run the attack x defense resilience grid"
+    )
+    p.add_argument(
+        "--attacks", nargs="*", default=[],
+        help="restrict the grid to these registered attacks",
+    )
+    p.add_argument(
+        "--defenses", nargs="*", default=[],
+        help="restrict the grid to these registered defenses",
+    )
+    p.add_argument(
+        "--benchmarks", nargs="*", default=[],
+        help="benchmarks to lock (default: the two smallest at the "
+             "profile's scale)",
+    )
+    p.add_argument(
+        "--check-paper", action=argparse.BooleanOptionalAction, default=True,
+        help="exit non-zero when a measured verdict disagrees with the "
+             "paper's Table I (default: on)",
+    )
+    add_profile(p)
+    add_runner(p)
+    p.set_defaults(func=cmd_matrix)
 
     p = sub.add_parser(
         "run", help="run experiment grids through the parallel runner"

@@ -14,6 +14,18 @@
   the DFS model and the baseline benches.
 * :mod:`repro.locking.tpm` — tamper-proof memory, key comparator and key
   selector of the paper's Fig. 2 test-authentication scheme.
+
+Extensions beyond the paper (rows the matrix grid adds to Table I):
+
+* :mod:`repro.locking.iolock` — combinational locks behind a plain
+  input/output oracle (the classic SAT-attack setting), including the
+  RLL-on-core baseline.
+* :mod:`repro.locking.sarlock` — SARLock-style point-function lock:
+  every wrong key errs on exactly one input, pushing the SAT attack to
+  ~2^k iterations.
+* :mod:`repro.locking.scramble` — keyed scan-chain scrambling over
+  multiple parallel chains: the key permutes chains rather than
+  corrupting values.
 """
 
 from repro.locking.effdyn import EffDynLock, EffDynPublicView, lock_with_effdyn
@@ -21,10 +33,19 @@ from repro.locking.eff import EffStaticLock, lock_with_eff
 from repro.locking.dos import DosLock, lock_with_dos
 from repro.locking.dfs import DfsLock, lock_with_dfs
 from repro.locking.rll import RllLock, lock_combinational_rll
+from repro.locking.iolock import IoLock, IoOracle, lock_core_with_rll
+from repro.locking.sarlock import lock_with_sarlock
+from repro.locking.scramble import ScrambleLock, lock_with_scramble
 from repro.locking.keygates import place_keygates
 from repro.locking.tpm import TamperProofMemory, AuthenticationScheme
 
 __all__ = [
+    "IoLock",
+    "IoOracle",
+    "lock_core_with_rll",
+    "lock_with_sarlock",
+    "ScrambleLock",
+    "lock_with_scramble",
     "EffDynLock",
     "EffDynPublicView",
     "lock_with_effdyn",

@@ -78,6 +78,10 @@ class DosLock:
     seed: tuple[int, ...]
     period_p: int = 1
 
+    @property
+    def key_bits(self) -> int:
+        return len(self.seed)
+
     def public_view(self) -> DosPublicView:
         return DosPublicView(
             spec=self.spec,

@@ -29,6 +29,7 @@ from pathlib import Path
 from typing import Any, Callable
 
 from repro.core.dynunlock import DynUnlockConfig, dynunlock
+from repro.matrix.grid import matrix_cell
 from repro.netlist.netlist import Netlist
 from repro.reports.profiles import ExperimentProfile
 from repro.util.rng import hash_label
@@ -73,6 +74,11 @@ def table2_cell(
 
 _TABLE1_DEFENSES = ("eff", "dfs", "dos", "effdyn")
 
+# Historical RNG stream indices -- the original hand-written wiring
+# numbered the defenses in this order, and the labels participate in
+# the cache key, so they are preserved across the registry refactor.
+_TABLE1_RNG_INDEX = {name: i + 1 for i, name in enumerate(_TABLE1_DEFENSES)}
+
 
 def table1_cell(
     profile: ExperimentProfile,
@@ -82,83 +88,41 @@ def table1_cell(
 ) -> dict[str, Any]:
     """Break one Table I defense with its published attack.
 
-    ``netlist`` is only for callers holding a custom circuit (those runs
-    bypass the cache); grid runs rebuild the deterministic default.
+    Both sides resolve through the :mod:`repro.matrix.registry` plugin
+    registry: the defense names its ``paper_attack`` and the adapter
+    normalises the attack's result, so this cell carries no per-scheme
+    wiring of its own.  ``netlist`` is only for callers holding a custom
+    circuit (those runs bypass the cache); grid runs rebuild the
+    deterministic default.
     """
-    from repro.attack.scansat import scansat_attack_on_lock
-    from repro.attack.scansat_dyn import scansat_dyn_attack_on_lock
-    from repro.attack.shift_and_leak import shift_and_leak_on_lock
     from repro.bench_suite.registry import build_benchmark_netlist
-    from repro.locking.dfs import lock_with_dfs
-    from repro.locking.dos import lock_with_dos
-    from repro.locking.eff import lock_with_eff
-    from repro.locking.effdyn import lock_with_effdyn
+    from repro.matrix.registry import get_attack, get_defense
 
+    if defense not in _TABLE1_DEFENSES:
+        raise ValueError(
+            f"unknown table1 defense {defense!r}; known: {_TABLE1_DEFENSES}"
+        )
+    defense_spec = get_defense(defense)
+    attack_spec = get_attack(defense_spec.paper_attack)
     if netlist is None:
         netlist = build_benchmark_netlist("s5378", scale=max(profile.scale, 8))
     key_bits = profile.effective_key_bits(netlist.n_dffs, min(8, profile.key_bits))
 
-    if defense == "eff":
-        rng = random.Random(hash_label(1, "table1/eff"))
-        lock = lock_with_eff(netlist, key_bits=key_bits, rng=rng)
-        result = scansat_attack_on_lock(lock, timeout_s=profile.timeout_s)
-        row = {
-            "defense": "EFF (2018)",
-            "obfuscation_type": "Static",
-            "attack": "ScanSAT",
-        }
-    elif defense == "dfs":
-        rng = random.Random(hash_label(2, "table1/dfs"))
-        lock = lock_with_dfs(netlist, key_bits=key_bits, rng=rng)
-        result = shift_and_leak_on_lock(lock, timeout_s=profile.timeout_s)
-        row = {
-            "defense": "DFS (2018)",
-            "obfuscation_type": "Static",
-            "attack": "Shift-and-leak",
-        }
-    elif defense == "dos":
-        rng = random.Random(hash_label(3, "table1/dos"))
-        lock = lock_with_dos(netlist, key_bits=key_bits, rng=rng, period_p=1)
-        result = scansat_dyn_attack_on_lock(lock, timeout_s=profile.timeout_s)
-        row = {
-            "defense": "DOS (2017)",
-            "obfuscation_type": "Dynamic (per pattern)",
-            "attack": "ScanSAT-dyn",
-        }
-    elif defense == "effdyn":
-        rng = random.Random(hash_label(4, "table1/effdyn"))
-        lock = lock_with_effdyn(netlist, key_bits=key_bits, rng=rng)
-        result = dynunlock(
-            netlist,
-            lock.public_view(),
-            lock.make_oracle(),
-            DynUnlockConfig(timeout_s=profile.timeout_s),
-        )
-        row = {
-            "defense": "EFF-Dyn (2019)",
-            "obfuscation_type": "Dynamic (per cycle)",
-            "attack": "DynUnlock (this work)",
-        }
-    else:
-        raise ValueError(
-            f"unknown table1 defense {defense!r}; known: {_TABLE1_DEFENSES}"
-        )
-
-    detail = f"{result.iterations} iterations, {result.runtime_s:.1f}s"
-    if defense == "effdyn":
-        detail = (
-            f"{result.iterations} iterations, "
-            f"{result.n_seed_candidates} candidates, "
-            f"{result.runtime_s:.1f}s"
-        )
-    row.update(
-        {
-            "broken": bool(result.success),
-            "detail": detail,
-            "time_s": result.runtime_s,
-        }
+    rng = random.Random(
+        hash_label(_TABLE1_RNG_INDEX[defense], f"table1/{defense}")
     )
-    return row
+    lock = defense_spec.build(netlist, key_bits, rng)
+    outcome = attack_spec.run_fn(
+        lock, profile=profile, timeout_s=profile.timeout_s
+    )
+    return {
+        "defense": defense_spec.display,
+        "obfuscation_type": defense_spec.obfuscation,
+        "attack": attack_spec.display,
+        "broken": bool(outcome.success),
+        "detail": outcome.detail,
+        "time_s": outcome.runtime_s,
+    }
 
 
 def scaling_cell(
@@ -294,6 +258,7 @@ CELL_RUNNERS: dict[str, CellFn] = {
     "table3": table2_cell,
     "scaling": scaling_cell,
     "ablation": ablation_cell,
+    "matrix": matrix_cell,
     "selfcheck": selfcheck_cell,
 }
 

@@ -31,6 +31,7 @@ from statistics import mean
 from typing import Callable, Sequence
 
 from repro.bench_suite.registry import TABLE2_BENCHMARKS, TABLE3_BENCHMARKS
+from repro.matrix.grid import MATRIX_HEADERS, matrix_rows, matrix_specs
 from repro.netlist.netlist import Netlist
 from repro.reports.cells import _TABLE1_DEFENSES, table1_cell
 from repro.reports.profiles import ExperimentProfile
@@ -607,5 +608,12 @@ GRID: dict[str, GridExperiment] = {
     ),
     "ablation": GridExperiment(
         "ablation", "PRNG ablation", ABLATION_HEADERS, ablation_specs, ablation_rows
+    ),
+    "matrix": GridExperiment(
+        "matrix",
+        "Attack x defense resilience matrix",
+        MATRIX_HEADERS,
+        matrix_specs,
+        matrix_rows,
     ),
 }

@@ -92,3 +92,46 @@ class TestRunnerSurfaces:
              "--cache-dir", str(tmp_path / "cache")]
         ) == 0
         assert "Table II" in capsys.readouterr().out
+
+
+class TestMatrixCommand:
+    """The `dynunlock matrix` surface (grid filters + paper check)."""
+
+    def test_matrix_flags_parse_with_defaults(self):
+        args = build_parser().parse_args(["matrix"])
+        assert args.attacks == [] and args.defenses == []
+        assert args.benchmarks == []
+        assert args.check_paper is True
+        assert args.jobs == 1 and args.resume is True
+
+    def test_no_check_paper_flag(self):
+        args = build_parser().parse_args(["matrix", "--no-check-paper"])
+        assert args.check_paper is False
+
+    def test_unknown_plugin_name_is_a_usage_error(self, capsys):
+        assert main(["matrix", "--attacks", "nope"]) == 2
+        assert "unknown attack/defense" in capsys.readouterr().err
+
+    def test_unknown_benchmark_is_a_usage_error(self, capsys):
+        assert main(["matrix", "--benchmarks", "s9999"]) == 2
+        assert "unknown benchmark" in capsys.readouterr().err
+
+    def test_filtered_matrix_runs_and_emits_artifact(self, tmp_path, capsys):
+        argv = [
+            "matrix", "--defenses", "eff", "--attacks", "scansat", "bruteforce",
+            "--benchmarks", "s5378", "--profile", "quick",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--emit-json", str(tmp_path / "results"),
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "resilience matrix" in out and "broken" in out
+        artifact = tmp_path / "results" / "BENCH_matrix.json"
+        assert artifact.is_file()
+        import json
+
+        meta = json.loads(artifact.read_text())["meta"]
+        assert meta["verdicts"]["scansat|eff"] == "broken"
+        assert meta["n_paper_mismatches"] == 0
+        assert main(argv) == 0  # second run: served from cache
+        assert capsys.readouterr().out == out
