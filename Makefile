@@ -7,6 +7,10 @@
 #                           floor (benchmarks/baselines/coverage_floor.txt);
 #                           requires pytest-cov
 #   make matrix           - the attack x defense resilience grid (quick)
+#   make fuzz             - a seeded differential-fuzzing campaign (quick);
+#                           fails on any invariant violation and writes
+#                           shrunk repro cases to .fuzz_corpus
+#                           (FUZZ_TRIALS / FUZZ_SEED override the defaults)
 #   make refresh-baseline - regenerate the Table II timing baseline from a
 #                           clean (cache-less) quick run and install it at
 #                           benchmarks/baselines/table2_quick.json; review
@@ -23,7 +27,7 @@ RUFF ?= ruff
 COVERAGE_FLOOR = benchmarks/baselines/coverage_floor.txt
 BASELINE_DIR = .bench_refresh
 
-.PHONY: verify bench test-all coverage matrix refresh-baseline lint
+.PHONY: verify bench test-all coverage matrix fuzz refresh-baseline lint
 
 verify:
 	$(PYTEST) -x -q
@@ -44,6 +48,11 @@ coverage:
 matrix:
 	PYTHONPATH=src $(PYTHON) -m repro.cli matrix --profile quick \
 	  --jobs $${REPRO_JOBS:-1}
+
+fuzz:
+	PYTHONPATH=src $(PYTHON) -m repro.cli fuzz --profile quick \
+	  --trials $${FUZZ_TRIALS:-100} --seed $${FUZZ_SEED:-0} \
+	  --jobs $${REPRO_JOBS:-1} --corpus .fuzz_corpus
 
 # The regression gate compares against this artifact's meta block, so it
 # must come from a cache-less run (--no-resume) to carry fresh timings.

@@ -17,7 +17,8 @@ on (and that real synthesized benchmarks exhibit):
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
+from typing import Mapping
 
 from repro.netlist.gates import GateType
 from repro.netlist.netlist import Netlist
@@ -55,6 +56,56 @@ class GeneratorConfig:
             raise ValueError("gates_per_flop must be positive")
         if self.max_fanin < 2:
             raise ValueError("max_fanin must be at least 2")
+
+
+def config_to_dict(config: GeneratorConfig) -> dict:
+    """JSON-safe encoding of a config (all fields, plain scalars).
+
+    This is what fuzz trials embed in their :class:`JobSpec` params, so
+    every field participates in the cache key and the crash corpus can
+    reconstruct the exact circuit shape.
+    """
+    return asdict(config)
+
+
+def config_from_dict(data: Mapping[str, int | float]) -> GeneratorConfig:
+    """Inverse of :func:`config_to_dict` (validation re-runs in __post_init__)."""
+    return GeneratorConfig(
+        n_flops=int(data["n_flops"]),
+        n_inputs=int(data["n_inputs"]),
+        n_outputs=int(data["n_outputs"]),
+        gates_per_flop=float(data["gates_per_flop"]),
+        max_fanin=int(data["max_fanin"]),
+        locality=int(data["locality"]),
+    )
+
+
+#: Sampling bounds for :func:`sample_config` -- deliberately small: the
+#: fuzzer's job is shape diversity, not scale, and a trial must finish in
+#: well under a second so campaigns of hundreds of trials stay cheap.
+SAMPLE_FLOP_RANGE = (3, 14)
+SAMPLE_INPUT_RANGE = (1, 6)
+SAMPLE_OUTPUT_RANGE = (1, 5)
+SAMPLE_GATES_PER_FLOP = (1.0, 1.5, 2.0, 3.0, 4.0)
+SAMPLE_FANIN_RANGE = (2, 4)
+SAMPLE_LOCALITY = (4, 8, 24)
+
+
+def sample_config(rng: random.Random) -> GeneratorConfig:
+    """Draw one random-but-valid circuit shape from ``rng``.
+
+    All draws come from the fixed bounds above in a fixed order, so one
+    rng state maps to exactly one config -- the determinism the fuzz
+    campaign's replay guarantee rests on.
+    """
+    return GeneratorConfig(
+        n_flops=rng.randint(*SAMPLE_FLOP_RANGE),
+        n_inputs=rng.randint(*SAMPLE_INPUT_RANGE),
+        n_outputs=rng.randint(*SAMPLE_OUTPUT_RANGE),
+        gates_per_flop=rng.choice(SAMPLE_GATES_PER_FLOP),
+        max_fanin=rng.randint(*SAMPLE_FANIN_RANGE),
+        locality=rng.choice(SAMPLE_LOCALITY),
+    )
 
 
 def generate_circuit(

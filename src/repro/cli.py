@@ -336,6 +336,104 @@ def cmd_matrix(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    """``dynunlock fuzz``: run a seeded differential-fuzzing campaign."""
+    from repro.fuzz.campaign import FUZZ_HEADERS, campaign_rows, run_campaign
+
+    profile = _profile_from_args(args)
+    report = run_campaign(
+        profile,
+        trials=args.trials,
+        seed=args.seed,
+        jobs=_jobs_from_args(args),
+        store=_store_from_args(args),
+        time_budget_s=args.time_budget,
+        corpus_dir=args.corpus,
+        progress=_progress,
+        shrink_limit=args.shrink_limit,
+    )
+    title = (
+        f"Differential fuzz campaign (seed={args.seed}, "
+        f"profile={profile.name})"
+    )
+    rows = campaign_rows(report)
+    print(render_table(FUZZ_HEADERS, rows, title=title))
+    print(f"  [=] {report.summary()}", file=sys.stderr)
+    for violation in report.violations:
+        where = violation.get("corpus_path")
+        suffix = f" -> {where}" if where else ""
+        print(
+            f"  [!] trial {violation['index']} violated "
+            f"{violation['invariant']}: {violation['detail']}{suffix}",
+            file=sys.stderr,
+        )
+    _emit_artifact(
+        args,
+        "fuzz",
+        FUZZ_HEADERS,
+        rows,
+        title=title,
+        profile_name=profile.name,
+        report=_FuzzArtifactReport(report),
+        extra_meta={
+            "campaign_seed": args.seed,
+            "n_trials": report.n_trials,
+            "n_not_run": report.n_not_run,
+            "n_unbuildable": report.n_skipped_builds,
+            "violations": report.violations,
+        },
+    )
+    return 0 if report.ok else 1
+
+
+class _FuzzArtifactReport:
+    """Adapter giving :func:`_emit_artifact` the RunReport surface it reads."""
+
+    def __init__(self, report):
+        self.outcomes = [o for o in report.outcomes if o.ok]
+        self.wall_s = report.wall_s
+        self.n_cached = report.n_cached
+        self.n_computed = report.n_computed
+
+
+def cmd_fuzz_replay(args: argparse.Namespace) -> int:
+    """``dynunlock fuzz-replay``: re-demonstrate every crash-corpus entry."""
+    from repro.fuzz.corpus import CorpusError, load_corpus, replay_entry
+
+    try:
+        entries = load_corpus(args.corpus)
+    except CorpusError as exc:
+        print(f"corpus {args.corpus} is damaged: {exc}", file=sys.stderr)
+        return 2
+    if not entries:
+        print(f"corpus {args.corpus} is empty; nothing to replay")
+        return 0
+    profile = PROFILES[args.profile] if args.profile else None
+    stale = 0
+    for path, entry in entries:
+        reproduced = replay_entry(entry, profile)
+        if reproduced is None:
+            status = "SKIP (needs a pool/store to reproduce)"
+        elif reproduced:
+            status = "reproduced"
+        else:
+            status = "NO LONGER REPRODUCES"
+            stale += 1
+        print(f"{path}: {entry.invariant} ... {status}")
+        if args.verbose:
+            print(f"    detail : {entry.detail}")
+            print(f"    trial  : {entry.trial}")
+    if stale:
+        print(
+            f"  [!] {stale} entr{'y' if stale == 1 else 'ies'} no longer "
+            "reproduce -- the bug is fixed; delete the file(s) to retire "
+            "them",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     """``dynunlock run``: push one or more experiment grids through the runner."""
     names = list(GRID) if "all" in args.experiments else args.experiments
@@ -457,6 +555,51 @@ def build_parser() -> argparse.ArgumentParser:
     add_profile(p)
     add_runner(p)
     p.set_defaults(func=cmd_matrix)
+
+    p = sub.add_parser(
+        "fuzz", help="run a seeded differential-fuzzing campaign"
+    )
+    p.add_argument(
+        "--trials", type=int, default=100, metavar="N",
+        help="number of sampled trials in the campaign (default 100)",
+    )
+    p.add_argument(
+        "--seed", type=int, default=0, metavar="S",
+        help="campaign seed; same seed + trials => identical campaign",
+    )
+    p.add_argument(
+        "--time-budget", type=float, default=None, metavar="SECONDS",
+        help="stop dispatching new trials after this many seconds",
+    )
+    p.add_argument(
+        "--corpus", default=None, metavar="DIR",
+        help="write shrunk failing trials here (e.g. .fuzz_corpus); "
+             "omit to skip corpus persistence",
+    )
+    p.add_argument(
+        "--shrink-limit", type=int, default=8, metavar="N",
+        help="minimize at most N violations (default 8)",
+    )
+    add_profile(p)
+    add_runner(p)
+    p.set_defaults(func=cmd_fuzz)
+
+    p = sub.add_parser(
+        "fuzz-replay", help="re-demonstrate every crash-corpus entry"
+    )
+    p.add_argument(
+        "corpus", nargs="?", default=".fuzz_corpus",
+        help="corpus directory (default .fuzz_corpus)",
+    )
+    p.add_argument(
+        "--profile", choices=sorted(PROFILES), default=None,
+        help="replay under this profile instead of the recorded one",
+    )
+    p.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="print each entry's detail and trial params",
+    )
+    p.set_defaults(func=cmd_fuzz_replay)
 
     p = sub.add_parser(
         "run", help="run experiment grids through the parallel runner"

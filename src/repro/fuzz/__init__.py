@@ -1,0 +1,66 @@
+"""Differential fuzzing of the attack x defense landscape.
+
+The rest of the repo tests hand-enumerated scenarios (fixed ISCAS
+registry benchmarks, the matrix grid); this package samples the space
+those scenarios live in -- circuit shapes x key sizes x applicable
+(attack, defense) pairs -- under one seeded RNG stream and checks
+metamorphic invariants on every trial:
+
+* ``key-equivalence``  -- the lock with its correct key behaves exactly
+  like the original netlist (bit-parallel replay);
+* ``attack-replay``    -- a key an attack claims to have recovered must
+  reproduce the live oracle's responses under independent replay;
+* ``exec-stability``   -- a trial's result is identical whether it ran
+  in a pool worker or serially in-process;
+* ``cache-stability``  -- a result store round-trip returns the fresh
+  result byte-for-byte.
+
+Failing trials are minimized by a greedy shrinker
+(:mod:`repro.fuzz.shrink`) and persisted to a reproducible crash corpus
+(:mod:`repro.fuzz.corpus`); campaigns run as ``JobSpec``s through the
+cached parallel scheduler (:mod:`repro.fuzz.campaign`), surfaced as
+``dynunlock fuzz`` / ``dynunlock fuzz-replay`` and gated in CI by the
+``fuzz-smoke`` job.
+"""
+
+from repro.fuzz.campaign import (
+    CampaignReport,
+    FUZZ_HEADERS,
+    campaign_rows,
+    fuzz_cell,
+    fuzz_trial_specs,
+    run_campaign,
+    sample_trial_params,
+)
+from repro.fuzz.corpus import (
+    DEFAULT_CORPUS_DIR,
+    CrashEntry,
+    load_corpus,
+    replay_entry,
+    write_entry,
+)
+from repro.fuzz.invariants import (
+    InvariantViolation,
+    check_attack_replay,
+    check_key_equivalence,
+)
+from repro.fuzz.shrink import shrink_trial
+
+__all__ = [
+    "CampaignReport",
+    "CrashEntry",
+    "DEFAULT_CORPUS_DIR",
+    "FUZZ_HEADERS",
+    "InvariantViolation",
+    "campaign_rows",
+    "check_attack_replay",
+    "check_key_equivalence",
+    "fuzz_cell",
+    "fuzz_trial_specs",
+    "load_corpus",
+    "replay_entry",
+    "run_campaign",
+    "sample_trial_params",
+    "shrink_trial",
+    "write_entry",
+]

@@ -1,0 +1,114 @@
+"""Greedy minimization of failing fuzz trials.
+
+A failing trial arrives as the flat JSON param dict of its
+:func:`~repro.fuzz.campaign.fuzz_cell` spec.  The shrinker repeatedly
+proposes smaller variants -- fewer flops, narrower keys, sparser logic,
+fewer I/Os -- and keeps a variant whenever the *same* invariant still
+fails on it, so the corpus ends up holding the smallest circuit shape
+that demonstrates each bug rather than whatever the sampler happened to
+draw.  Everything is deterministic: candidates are generated in a fixed
+order and evaluated by re-running the trial cell in-process, so a
+shrink of the same failure always lands on the same minimum.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.fuzz.invariants import CRASH
+
+#: Hard lower bounds per shrinkable parameter (generator/lock validity).
+PARAM_FLOORS = {
+    "n_flops": 3,
+    "key_bits": 1,
+    "n_inputs": 1,
+    "n_outputs": 1,
+    "max_fanin": 2,
+    "locality": 4,
+}
+
+#: Shrink priority: structural size first (largest payoff per accepted
+#: step), then widths, then fan-in/locality detail.
+_SHRINK_ORDER = (
+    "n_flops",
+    "key_bits",
+    "gates_per_flop",
+    "n_inputs",
+    "n_outputs",
+    "max_fanin",
+    "locality",
+)
+
+
+def _reduced_values(name: str, value) -> list:
+    """Candidate smaller values for one parameter, biggest jump first."""
+    if name == "gates_per_flop":
+        if value <= 1.0:
+            return []
+        halved = max(1.0, round(1.0 + (value - 1.0) / 2, 2))
+        return [v for v in (1.0, halved) if v < value]
+    floor = PARAM_FLOORS[name]
+    if value <= floor:
+        return []
+    halved = max(floor, value // 2)
+    candidates = [halved, value - 1]
+    # Deduplicate while keeping the big jump first.
+    return [v for i, v in enumerate(candidates) if v not in candidates[:i]]
+
+
+def candidate_reductions(params: dict) -> Iterator[dict]:
+    """Yield smaller trial variants in deterministic priority order."""
+    for name in _SHRINK_ORDER:
+        if name not in params:
+            continue
+        for value in _reduced_values(name, params[name]):
+            candidate = dict(params)
+            candidate[name] = value
+            yield candidate
+
+
+def trial_fails(params: dict, invariant: str, profile) -> bool:
+    """Does the trial still fail ``invariant``?  (Runs the cell in-process.)"""
+    from repro.fuzz.campaign import fuzz_cell
+
+    try:
+        result = fuzz_cell(profile, **params)
+    except Exception:
+        return invariant == CRASH
+    if invariant == CRASH:
+        return False
+    return any(
+        v.get("invariant") == invariant
+        for v in result.get("violations", [])
+    )
+
+
+def shrink_trial(
+    params: dict,
+    invariant: str,
+    profile,
+    *,
+    max_evals: int = 48,
+) -> tuple[dict, int]:
+    """Greedily minimize ``params`` while ``invariant`` keeps failing.
+
+    Returns ``(shrunk_params, evaluations_spent)``.  Each round walks
+    the candidate list and restarts from the first accepted reduction;
+    the loop ends when no candidate still fails or the evaluation budget
+    runs out.  The input params are returned unchanged when nothing
+    smaller reproduces the failure.
+    """
+    current = dict(params)
+    evals = 0
+    improved = True
+    while improved and evals < max_evals:
+        improved = False
+        for candidate in candidate_reductions(current):
+            if evals >= max_evals:
+                break
+            evals += 1
+            if trial_fails(candidate, invariant, profile):
+                current = candidate
+                improved = True
+                break
+    return current, evals

@@ -218,6 +218,23 @@ def applicable_pairs(
     ]
 
 
+def sample_applicable_pair(
+    rng,
+    attacks: list[str] | None = None,
+    defenses: list[str] | None = None,
+) -> tuple[str, str]:
+    """Draw one runnable (attack, defense) pair uniformly from ``rng``.
+
+    Sampling happens over :func:`applicable_pairs`'s deterministic
+    defense-major order, so a given rng state always yields the same
+    pair -- the property the fuzz campaign's seeded trial stream needs.
+    """
+    pairs = applicable_pairs(attacks=attacks, defenses=defenses)
+    if not pairs:
+        raise RegistryError("no applicable (attack, defense) pair to sample")
+    return pairs[rng.randrange(len(pairs))]
+
+
 @contextmanager
 def temporary_registrations() -> Iterator[None]:
     """Snapshot the registry and restore it on exit (for tests)."""

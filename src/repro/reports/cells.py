@@ -29,6 +29,7 @@ from pathlib import Path
 from typing import Any, Callable
 
 from repro.core.dynunlock import DynUnlockConfig, dynunlock
+from repro.fuzz.campaign import fuzz_cell
 from repro.matrix.grid import matrix_cell
 from repro.netlist.netlist import Netlist
 from repro.reports.profiles import ExperimentProfile
@@ -259,6 +260,7 @@ CELL_RUNNERS: dict[str, CellFn] = {
     "scaling": scaling_cell,
     "ablation": ablation_cell,
     "matrix": matrix_cell,
+    "fuzz": fuzz_cell,
     "selfcheck": selfcheck_cell,
 }
 

@@ -135,3 +135,77 @@ class TestMatrixCommand:
         assert meta["n_paper_mismatches"] == 0
         assert main(argv) == 0  # second run: served from cache
         assert capsys.readouterr().out == out
+
+
+class TestFuzzCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["fuzz"])
+        assert args.trials == 100 and args.seed == 0
+        assert args.time_budget is None and args.corpus is None
+        replay = build_parser().parse_args(["fuzz-replay"])
+        assert replay.corpus == ".fuzz_corpus"
+
+    def test_small_campaign_is_green(self, capsys, tmp_path):
+        code = main(
+            ["fuzz", "--trials", "6", "--seed", "0",
+             "--cache-dir", str(tmp_path / "cache"),
+             "--corpus", str(tmp_path / "corpus")]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "Differential fuzz campaign" in captured.out
+        assert "0 violation(s)" in captured.err
+        # Green campaign => no corpus directory is conjured.
+        assert not (tmp_path / "corpus").exists()
+
+    def test_emit_json_writes_campaign_artifact(self, capsys, tmp_path):
+        import json
+
+        code = main(
+            ["fuzz", "--trials", "4", "--seed", "1", "--no-resume",
+             "--emit-json", str(tmp_path)]
+        )
+        assert code == 0
+        artifact = json.loads((tmp_path / "BENCH_fuzz.json").read_text())
+        assert artifact["meta"]["campaign_seed"] == 1
+        assert artifact["meta"]["n_trials"] == 4
+        assert artifact["meta"]["violations"] == []
+
+    def test_replay_of_a_missing_corpus_is_clean(self, capsys, tmp_path):
+        assert main(["fuzz-replay", str(tmp_path / "none")]) == 0
+        assert "nothing to replay" in capsys.readouterr().out
+
+    def test_replay_of_a_damaged_corpus_reports_instead_of_crashing(
+        self, capsys, tmp_path
+    ):
+        bad = tmp_path / "attack-replay" / "junk.json"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("not json at all")
+        assert main(["fuzz-replay", str(tmp_path)]) == 2
+        assert "damaged" in capsys.readouterr().err
+
+    def test_replay_flags_entries_that_no_longer_reproduce(
+        self, capsys, tmp_path
+    ):
+        from repro.fuzz.campaign import sample_trial_params
+        from repro.fuzz.corpus import CrashEntry, write_entry
+        from repro.reports.profiles import PROFILES, profile_to_dict
+
+        # A healthy trial filed as if it once violated attack-replay:
+        # replay must notice the failure is gone and exit non-zero.
+        trial = sample_trial_params(0, 0)
+        write_entry(
+            tmp_path,
+            CrashEntry(
+                invariant="attack-replay",
+                detail="stale",
+                trial=trial,
+                original_trial=trial,
+                profile=profile_to_dict(PROFILES["quick"]),
+            ),
+        )
+        code = main(["fuzz-replay", str(tmp_path), "--verbose"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "NO LONGER REPRODUCES" in captured.out
+        assert "no longer reproduce" in captured.err

@@ -111,6 +111,58 @@ class TestRegistry:
         assert not is_applicable(sat, get_defense("effdyn"))
 
 
+class TestTemporaryRegistrations:
+    """The context manager the fuzzer's throwaway plugins rely on: what
+    happens inside must not leak out, in any order-observable way."""
+
+    def test_restores_registration_order_exactly(self):
+        defenses_before = defense_names()
+        attacks_before = attack_names()
+        with temporary_registrations():
+            register_defense("zz-temp", _dummy_lock, oracle_model="zz")
+            register_attack("zz-hit", _dummy_attack, applicable_to=("zz",))
+            # Inside: appended at the end, original prefix untouched.
+            assert defense_names() == defenses_before + ["zz-temp"]
+            assert attack_names() == attacks_before + ["zz-hit"]
+        # Outside: the exact original sequences (order is the rendered
+        # matrix row order, so order equality matters, not set equality).
+        assert defense_names() == defenses_before
+        assert attack_names() == attacks_before
+
+    def test_duplicates_of_builtins_rejected_inside_the_context(self):
+        existing_defense = defense_names()[0]
+        existing_attack = attack_names()[0]
+        with temporary_registrations():
+            with pytest.raises(RegistryError, match="already registered"):
+                register_defense(
+                    existing_defense, _dummy_lock, oracle_model="x"
+                )
+            with pytest.raises(RegistryError, match="already registered"):
+                register_attack(
+                    existing_attack, _dummy_attack, applicable_to=("x",)
+                )
+
+    def test_inner_registrations_are_unknown_after_exit(self):
+        with temporary_registrations():
+            register_defense("ghost-d", _dummy_lock, oracle_model="g")
+            register_attack("ghost-a", _dummy_attack, applicable_to=("g",))
+        with pytest.raises(KeyError):
+            get_defense("ghost-d")
+        with pytest.raises(KeyError):
+            get_attack("ghost-a")
+        # Re-registering after exit works: nothing half-leaked.
+        with temporary_registrations():
+            register_defense("ghost-d", _dummy_lock, oracle_model="g")
+
+    def test_restores_even_when_the_body_raises(self):
+        defenses_before = defense_names()
+        with pytest.raises(RuntimeError):
+            with temporary_registrations():
+                register_defense("doomed", _dummy_lock, oracle_model="d")
+                raise RuntimeError("boom")
+        assert defense_names() == defenses_before
+
+
 class TestSpecEnumeration:
     def test_na_pairs_never_enumerated(self):
         specs = matrix_specs(TINY, benchmarks=SUB_BENCH)

@@ -157,6 +157,61 @@ class TestResultStore:
         assert old.get(spec_of()) is None
 
 
+class TestResultStoreEdgeCases:
+    """Degraded-input regressions: every failure mode must be a miss,
+    never an exception -- an interrupted writer or a foreign cache tree
+    must not take down the grid that trips over it."""
+
+    def test_truncated_entry_degrades_to_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        spec = spec_of()
+        store.put(spec, {"value": 1})
+        path = store.path_for(spec)
+        intact = path.read_bytes()
+        # Simulate a torn write: every strict prefix must read as a miss.
+        for cut in (0, 1, len(intact) // 2, len(intact) - 1):
+            path.write_bytes(intact[:cut])
+            assert store.get(spec) is None, f"cut at {cut} bytes"
+        path.write_bytes(intact)
+        assert store.get(spec) == {"value": 1}
+
+    def test_invalidate_of_a_never_stored_spec(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.invalidate(spec_of()) is False
+        # Must not conjure directories as a side effect.
+        assert not (tmp_path / store.version).exists()
+
+    def test_prune_a_foreign_version_tree_with_nesting(self, tmp_path):
+        mine = ResultStore(tmp_path, version="m" * 20)
+        mine.put(spec_of(), {"value": 1})
+        # A foreign version left behind by another checkout: nested
+        # experiment directories, entries, and a stray non-JSON file.
+        foreign = tmp_path / ("f" * 20)
+        deep = foreign / "table2" / "extra"
+        deep.mkdir(parents=True)
+        (foreign / "table2" / "aa.json").write_text("{}")
+        (deep / "bb.json").write_text("{}")
+        (deep / "notes.txt").write_text("leftover")
+        assert mine.prune() == 3
+        assert not foreign.exists()
+        assert mine.get(spec_of()) == {"value": 1}
+
+    def test_prune_ignores_stray_files_in_the_root(self, tmp_path):
+        store = ResultStore(tmp_path, version="m" * 20)
+        store.put(spec_of(), {"value": 1})
+        stray = tmp_path / "README.txt"
+        stray.write_text("not a version directory")
+        assert store.prune() == 0
+        assert stray.exists()
+
+    def test_prune_on_a_missing_root(self, tmp_path):
+        store = ResultStore(tmp_path / "never-created")
+        assert store.prune() == 0
+
+    def test_len_on_a_missing_version_dir(self, tmp_path):
+        assert len(ResultStore(tmp_path, version="x" * 20)) == 0
+
+
 class TestScheduler:
     def test_serial_runs_and_stores(self, tmp_path):
         store = ResultStore(tmp_path)

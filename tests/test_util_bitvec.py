@@ -97,3 +97,67 @@ class TestRandomBits:
 
     def test_deterministic(self):
         assert random_bits(32, random.Random(5)) == random_bits(32, random.Random(5))
+
+
+# ----------------------------------------------------------------------
+# hypothesis property suites: packed lanes vs the scalar reference
+# ----------------------------------------------------------------------
+from repro.util.bitvec import (  # noqa: E402
+    PACK_WORD_BITS,
+    broadcast_bit,
+    lane_mask,
+    pack_lanes,
+    unpack_lanes,
+)
+
+bit = st.integers(min_value=0, max_value=1)
+
+
+def bit_matrix(max_rows=8, max_width=16):
+    """Strategy: a non-ragged 0/1 matrix (rows = lanes, columns = nets)."""
+    return st.integers(min_value=0, max_value=max_width).flatmap(
+        lambda width: st.lists(
+            st.lists(bit, min_size=width, max_size=width),
+            min_size=1,
+            max_size=max_rows,
+        )
+    )
+
+
+class TestPackedLaneProperties:
+    @given(bit_matrix())
+    def test_pack_unpack_round_trip(self, rows):
+        assert unpack_lanes(pack_lanes(rows), len(rows)) == rows
+
+    @given(bit_matrix())
+    def test_packing_matches_scalar_bits(self, rows):
+        """Word ``i`` bit ``lane`` is exactly ``rows[lane][i]``."""
+        words = pack_lanes(rows)
+        assert len(words) == len(rows[0])
+        for i, word in enumerate(words):
+            assert word >> len(rows) == 0  # no stray high lanes
+            for lane, row in enumerate(rows):
+                assert (word >> lane) & 1 == row[i]
+
+    @given(st.lists(bit, min_size=1, max_size=16),
+           st.integers(min_value=1, max_value=PACK_WORD_BITS))
+    def test_broadcast_equals_packing_identical_rows(self, bits, n_lanes):
+        assert pack_lanes([bits] * n_lanes) == [
+            broadcast_bit(b, n_lanes) for b in bits
+        ]
+
+    @given(st.integers(min_value=0, max_value=256))
+    def test_lane_mask_is_all_ones(self, n):
+        assert lane_mask(n) == bits_to_int([1] * n)
+
+    @given(st.lists(bit, min_size=1, max_size=64))
+    def test_int_round_trip_at_exact_width(self, bits):
+        assert bits_from_int(bits_to_int(bits), len(bits)) == bits
+
+    def test_pack_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            pack_lanes([[0, 1], [1]])
+
+    def test_pack_rejects_non_bits(self):
+        with pytest.raises(ValueError):
+            pack_lanes([[0, 2]])
