@@ -11,6 +11,11 @@
 #                           fails on any invariant violation and writes
 #                           shrunk repro cases to .fuzz_corpus
 #                           (FUZZ_TRIALS / FUZZ_SEED override the defaults)
+#   make opt-bench        - optimized vs raw attack pipeline on the quick
+#                           Table II grid (cache-less, both arms); writes
+#                           BENCH_opt.json to $(OPT_BENCH_DIR) and fails
+#                           when optimization slows the total attack time
+#                           by >10% or changes any attack outcome
 #   make refresh-baseline - regenerate the Table II timing baseline from a
 #                           clean (cache-less) quick run and install it at
 #                           benchmarks/baselines/table2_quick.json; review
@@ -26,8 +31,9 @@ PYTEST = PYTHONPATH=src $(PYTHON) -m pytest
 RUFF ?= ruff
 COVERAGE_FLOOR = benchmarks/baselines/coverage_floor.txt
 BASELINE_DIR = .bench_refresh
+OPT_BENCH_DIR ?= results
 
-.PHONY: verify bench test-all coverage matrix fuzz refresh-baseline lint
+.PHONY: verify bench test-all coverage matrix fuzz opt-bench refresh-baseline lint
 
 verify:
 	$(PYTEST) -x -q
@@ -53,6 +59,10 @@ fuzz:
 	PYTHONPATH=src $(PYTHON) -m repro.cli fuzz --profile quick \
 	  --trials $${FUZZ_TRIALS:-100} --seed $${FUZZ_SEED:-0} \
 	  --jobs $${REPRO_JOBS:-1} --corpus .fuzz_corpus
+
+opt-bench:
+	PYTHONPATH=src $(PYTHON) -m repro.cli opt-bench --profile quick \
+	  --jobs $${REPRO_JOBS:-1} --emit-json $(OPT_BENCH_DIR)
 
 # The regression gate compares against this artifact's meta block, so it
 # must come from a cache-less run (--no-resume) to carry fresh timings.

@@ -1,0 +1,89 @@
+"""The optimizer's two contract claims, measured at bench scale.
+
+1. **Semantics**: on *every* registry benchmark, DynUnlock recovers a
+   byte-identical seed with and without :mod:`repro.opt` preprocessing
+   (at every level) -- the optimization is invisible to the attack's
+   output, only to its cost.
+2. **Cost**: across the full quick Table II grid, the optimized
+   pipeline's total attack wall-clock does not exceed the raw one by
+   more than 10% (the same budget the CI opt gate enforces), and every
+   attack model shrinks.
+
+Run with ``make bench`` or ``pytest benchmarks -m slow``.
+"""
+
+from __future__ import annotations
+
+from repro.bench_suite.registry import PAPER_BENCHMARKS
+from repro.core.dynunlock import DynUnlockConfig, dynunlock
+from repro.core.modeling import build_combinational_model
+from repro.opt import MAX_LEVEL, optimize
+from repro.reports.cells import build_table2_lock
+from repro.reports.tables import render_table
+
+
+def test_recovered_seed_identical_across_opt_levels_on_every_benchmark(
+    benchmark, profile
+):
+    """Acceptance pin: keys are byte-identical with and without opt."""
+
+    def sweep():
+        rows = []
+        for name in PAPER_BENCHMARKS:
+            netlist, lock, _ = build_table2_lock(profile, name)
+            outcomes = {}
+            for level in range(0, MAX_LEVEL + 1):
+                result = dynunlock(
+                    netlist,
+                    lock.public_view(),
+                    lock.make_oracle(),
+                    DynUnlockConfig(
+                        timeout_s=profile.timeout_s,
+                        candidate_limit=profile.candidate_limit,
+                        opt_level=level,
+                    ),
+                )
+                outcomes[level] = (
+                    result.success,
+                    result.recovered_seed,
+                    result.n_seed_candidates,
+                )
+            rows.append((name, outcomes))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = []
+    for name, outcomes in rows:
+        success, seed, candidates = outcomes[0]
+        assert success, f"{name}: baseline attack failed"
+        for level in range(1, MAX_LEVEL + 1):
+            assert outcomes[level] == outcomes[0], (
+                f"{name}: level {level} changed the attack outcome "
+                f"({outcomes[level]} != {outcomes[0]})"
+            )
+        table.append([name, candidates, "".join("=" for _ in outcomes)])
+    print("\n" + render_table(
+        ["Benchmark", "Candidates", "Levels agree"],
+        table,
+        title=f"Opt-level key identity ({profile.name} profile)",
+    ))
+    benchmark.extra_info["benchmarks_checked"] = len(rows)
+
+
+def test_every_attack_model_shrinks(profile):
+    """Level-1 optimization reduces every registry attack model."""
+    reductions = {}
+    for name in PAPER_BENCHMARKS:
+        netlist, lock, key_bits = build_table2_lock(profile, name)
+        model = build_combinational_model(
+            netlist, lock.spec, lock.lfsr_taps, key_bits
+        )
+        stats = optimize(model.netlist, level=1).stats
+        reductions[name] = stats.reduction
+        assert stats.gates_after < stats.gates_before, name
+    print("\n" + render_table(
+        ["Benchmark", "Reduction"],
+        [[name, f"{r:.0%}"] for name, r in reductions.items()],
+        title="Attack-model gate reduction (level 1)",
+    ))
+    assert min(reductions.values()) > 0.05

@@ -31,6 +31,7 @@ from dataclasses import dataclass, field, replace
 from typing import Callable, Sequence
 
 from repro.netlist.netlist import Netlist
+from repro.opt import OptResult, optimize, resolve_level
 from repro.sat.enumerate import enumerate_models
 from repro.sat.incremental import IncrementalSolver
 from repro.sat.solver import SolverStats
@@ -42,12 +43,20 @@ OracleFn = Callable[[list[int]], list[int]]
 
 @dataclass
 class SatAttackConfig:
-    """Attack knobs."""
+    """Attack knobs.
+
+    ``opt_level`` selects the :mod:`repro.opt` preprocessing level the
+    locked netlist is rewritten at before encoding (None = the active
+    default, 0 = encode the raw netlist).  Because the optimizer pins
+    the full I/O interface, recovered keys are unaffected -- only the
+    encoded clause count and simulation cost change.
+    """
 
     max_iterations: int = 10_000
     candidate_limit: int = 1024  # stop enumerating key candidates here
     timeout_s: float | None = None  # wall-clock budget for the whole attack
     iteration_hook: Callable[["IterationRecord"], None] | None = None
+    opt_level: int | None = None
 
 
 @dataclass
@@ -110,15 +119,24 @@ class SatAttack:
         config: SatAttackConfig | None = None,
         fixed_key_bits: dict[int, int] | None = None,
     ):
-        self.locked = locked
         self.key_inputs = list(key_inputs)
         key_set = set(self.key_inputs)
         missing = key_set - set(locked.inputs)
         if missing:
             raise ValueError(f"key inputs not in netlist: {sorted(missing)}")
-        self.x_inputs = [net for net in locked.inputs if net not in key_set]
         self.oracle_fn = oracle_fn
         self.config = config or SatAttackConfig()
+
+        # Optimization preprocessing: every miter/constraint copy stamps
+        # from the rewritten netlist.  The optimizer pins inputs (hence
+        # key inputs) and outputs by name, so DIPs, responses and
+        # recovered keys live in the original netlist's terms.
+        self.opt_result: OptResult | None = None
+        if resolve_level(self.config.opt_level) > 0:
+            self.opt_result = optimize(locked, level=self.config.opt_level)
+            locked = self.opt_result.netlist
+        self.locked = locked
+        self.x_inputs = [net for net in locked.inputs if net not in key_set]
 
         # Compile the locked circuit's Tseitin template once; every miter
         # copy and every per-DIP constraint copy stamps from it.
@@ -282,6 +300,14 @@ class SatAttack:
                     key_candidates.append(model_bits)
             self.solver.release_group(block_group)
             exhausted = len(key_candidates) >= cfg.candidate_limit
+            # Model enumeration order is a solver internal (it shifts
+            # with encoding details such as the optimization level);
+            # the *set* of surviving keys is the semantic result, so
+            # canonicalise.  Downstream consumers -- refinement's
+            # survivors[0], the restart consensus -- thereby return
+            # identical keys for every equivalent encoding, as long as
+            # enumeration ran to completion.
+            key_candidates.sort()
 
         fixed: dict[int, int] = {}
         if key_candidates and not exhausted:

@@ -21,6 +21,7 @@ from repro.attack.satattack import SatAttack, SatAttackConfig
 from repro.core.modeling import build_combinational_model
 from repro.locking.eff import EffStaticLock, EffStaticPublicView
 from repro.netlist.netlist import Netlist
+from repro.opt import optimize, resolve_level
 from repro.scan.oracle import ScanOracle
 from repro.util.timing import Stopwatch
 
@@ -43,6 +44,7 @@ def scansat_attack(
     verify_patterns: int = 16,
     timeout_s: float | None = None,
     rng_seed: int = 0x5CA9,
+    opt_level: int | None = None,
 ) -> ScanSatResult:
     """Recover a static EFF scan-locking key through the oracle."""
     watch = Stopwatch().start()
@@ -53,6 +55,8 @@ def scansat_attack(
         key_bits=public_view.spec.n_keygates,
         mode="static",
     )
+    if resolve_level(opt_level) > 0:
+        model.netlist = optimize(model.netlist, level=opt_level).netlist
     n_a = len(model.a_inputs)
 
     def oracle_fn(x_bits: list[int]) -> list[int]:
@@ -67,7 +71,9 @@ def scansat_attack(
         key_inputs=model.key_inputs,
         oracle_fn=oracle_fn,
         config=SatAttackConfig(
-            candidate_limit=candidate_limit, timeout_s=timeout_s
+            candidate_limit=candidate_limit,
+            timeout_s=timeout_s,
+            opt_level=0,  # the model above is already optimized
         ),
     )
     result = attack.run()

@@ -23,6 +23,7 @@ from repro.attack.satattack import SatAttack, SatAttackConfig
 from repro.core.modeling import build_combinational_model
 from repro.locking.dos import DosLock, DosPublicView
 from repro.netlist.netlist import Netlist
+from repro.opt import optimize, resolve_level
 from repro.scan.oracle import ScanOracle
 from repro.util.timing import Stopwatch
 
@@ -45,6 +46,7 @@ def scansat_dyn_attack(
     verify_patterns: int = 16,
     timeout_s: float | None = None,
     rng_seed: int = 0xD05,
+    opt_level: int | None = None,
 ) -> ScanSatDynResult:
     """Recover the DOS LFSR seed (works for any update period ``p``)."""
     watch = Stopwatch().start()
@@ -55,6 +57,8 @@ def scansat_dyn_attack(
         key_bits=public_view.lfsr_width,
         mode="dos_restart",
     )
+    if resolve_level(opt_level) > 0:
+        model.netlist = optimize(model.netlist, level=opt_level).netlist
     n_a = len(model.a_inputs)
 
     def oracle_fn(x_bits: list[int]) -> list[int]:
@@ -69,7 +73,9 @@ def scansat_dyn_attack(
         key_inputs=model.key_inputs,
         oracle_fn=oracle_fn,
         config=SatAttackConfig(
-            candidate_limit=candidate_limit, timeout_s=timeout_s
+            candidate_limit=candidate_limit,
+            timeout_s=timeout_s,
+            opt_level=0,  # the model above is already optimized
         ),
     )
     result = attack.run()
@@ -88,8 +94,14 @@ def scansat_dyn_attack(
         refinement = refine_candidates_by_replay(
             model, result.key_candidates, replay, rng, n_patterns=verify_patterns
         )
-        if refinement.survivors:
-            recovered = refinement.survivors[0]
+        recovered = _full_replay_survivor(
+            netlist,
+            public_view,
+            oracle,
+            refinement.survivors,
+            random.Random(rng_seed ^ 0x51D),
+            verify_patterns,
+        )
 
     watch.stop()
     return ScanSatDynResult(
@@ -99,6 +111,62 @@ def scansat_dyn_attack(
         iterations=result.iterations,
         runtime_s=watch.total,
     )
+
+
+def _full_replay_survivor(
+    netlist: Netlist,
+    public_view: DosPublicView,
+    oracle: ScanOracle,
+    survivors: list[list[int]],
+    rng: random.Random,
+    n_patterns: int,
+) -> list[int] | None:
+    """First survivor whose *full* keystream replay matches the chip.
+
+    The ``dos_restart`` model only observes the first LFSR update, so
+    seeds sharing ``T @ seed`` are indistinguishable to the model-based
+    refinement even when their later keystream diverges (the boundary
+    edge of a query can consume the second update).  Rebuild the real
+    per-pattern keystream oracle from each candidate seed and demand
+    query-for-query agreement with the live chip -- the same criterion
+    the fuzzer's independent attack-replay invariant applies.
+    """
+    from repro.locking.dos import PerPatternKeystream
+    from repro.prng.lfsr import FibonacciLfsr
+    from repro.util.bitvec import random_bits
+
+    if not survivors:
+        return None
+    n = public_view.spec.n_flops
+    patterns = [
+        (random_bits(n, rng), random_bits(len(netlist.inputs), rng))
+        for _ in range(n_patterns)
+    ]
+    live = [oracle.query(scan_in, pi) for scan_in, pi in patterns]
+    for seed in survivors:
+        try:
+            lfsr = FibonacciLfsr(
+                width=len(seed), seed_bits=seed, taps=public_view.lfsr_taps
+            )
+        except ValueError:  # degenerate seed (e.g. all-zero)
+            continue
+        replay = ScanOracle(
+            netlist,
+            public_view.spec,
+            PerPatternKeystream(lfsr, 2 * n, public_view.period_p),
+        )
+        matches = True
+        for (scan_in, pi), want in zip(patterns, live):
+            got = replay.query(scan_in, pi)
+            if (
+                got.scan_out != want.scan_out
+                or got.primary_outputs != want.primary_outputs
+            ):
+                matches = False
+                break
+        if matches:
+            return seed
+    return None
 
 
 def scansat_dyn_attack_on_lock(lock: DosLock, **kwargs) -> ScanSatDynResult:

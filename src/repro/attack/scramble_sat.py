@@ -27,6 +27,7 @@ from repro.locking.scramble import ScrambleLock, ScramblePublicView
 from repro.netlist.gates import GateType
 from repro.netlist.netlist import Netlist
 from repro.netlist.transform import extract_combinational_core
+from repro.opt import optimize, resolve_level
 from repro.scan.oracle import ScanResponse
 from repro.util.timing import Stopwatch
 
@@ -126,10 +127,13 @@ def scramble_sat_attack(
     verify_patterns: int = 16,
     timeout_s: float | None = None,
     rng_seed: int = 0x5C2A,
+    opt_level: int | None = None,
 ) -> ScrambleSatResult:
     """Recover a scramble routing key through the scan oracle."""
     watch = Stopwatch().start()
     model = build_scramble_model(netlist, public_view)
+    if resolve_level(opt_level) > 0:
+        model.netlist = optimize(model.netlist, level=opt_level).netlist
     n_a = len(model.a_inputs)
 
     def observe(response: ScanResponse) -> list[int]:
@@ -146,7 +150,9 @@ def scramble_sat_attack(
         key_inputs=model.key_inputs,
         oracle_fn=oracle_fn,
         config=SatAttackConfig(
-            candidate_limit=candidate_limit, timeout_s=timeout_s
+            candidate_limit=candidate_limit,
+            timeout_s=timeout_s,
+            opt_level=0,  # the model above is already optimized
         ),
     )
     result = attack.run()

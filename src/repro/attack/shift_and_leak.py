@@ -41,6 +41,7 @@ def shift_and_leak_attack(
     oracle: DfsOracle,
     candidate_limit: int = 64,
     timeout_s: float | None = None,
+    opt_level: int | None = None,
 ) -> ShiftAndLeakResult:
     """Recover the DFS logic-locking key through PO leakage.
 
@@ -71,7 +72,9 @@ def shift_and_leak_attack(
         key_inputs=list(public_view.key_inputs),
         oracle_fn=oracle_fn,
         config=SatAttackConfig(
-            candidate_limit=candidate_limit, timeout_s=timeout_s
+            candidate_limit=candidate_limit,
+            timeout_s=timeout_s,
+            opt_level=opt_level,  # SatAttack optimizes the observable core
         ),
     )
     result = attack.run()

@@ -9,6 +9,8 @@ Subcommands mirror the library's main entry points::
     dynunlock scaling                     # Section IV scalability study
     dynunlock ablation                    # Section V nonlinear-PRNG study
     dynunlock matrix                      # attack x defense resilience grid
+    dynunlock opt s5378                   # netlist-optimization statistics
+    dynunlock opt-bench --emit-json out   # opt vs raw attack-pipeline bench
     dynunlock run table2 scaling --jobs 4 # several grids through the runner
 
 ``dynunlock matrix`` executes every applicable (attack, defense) pair
@@ -17,6 +19,11 @@ the resilience grid (verdicts ``broken``/``resilient``/``partial``/
 ``n/a``), and exits non-zero when a measured verdict disagrees with the
 paper's Table I expectations (``--no-check-paper`` to disable).
 ``--attacks/--defenses/--benchmarks`` filter the grid.
+
+Attacks preprocess their locked netlists through the :mod:`repro.opt`
+optimizer by default; ``--no-opt`` (or ``--opt-level 0``) on any attack
+or grid command is the escape hatch, ``--opt-level 2`` adds SAT
+sweeping, and ``REPRO_OPT_LEVEL`` changes the process-wide default.
 
 All table commands accept ``--profile quick|full|paper`` (or the
 ``REPRO_PROFILE`` environment variable) plus the runner surfaces:
@@ -117,6 +124,9 @@ def _run_experiment(args: argparse.Namespace, name: str, **spec_kwargs) -> int:
     """Run one named grid through the scheduler and print/emit its table."""
     experiment = GRID[name]
     profile = _profile_from_args(args)
+    opt_level = getattr(args, "opt_level", None)
+    if opt_level is not None:
+        spec_kwargs["opt_level"] = opt_level
     rows, report = run_grid_experiment(
         name,
         profile,
@@ -190,7 +200,10 @@ def cmd_attack(args: argparse.Namespace) -> int:
         netlist,
         lock.public_view(),
         lock.make_oracle(),
-        DynUnlockConfig(timeout_s=args.timeout or profile.timeout_s),
+        DynUnlockConfig(
+            timeout_s=args.timeout or profile.timeout_s,
+            opt_level=args.opt_level,
+        ),
     )
     exact = result.recovered_seed == list(lock.seed)
     print(f"success          : {result.success}")
@@ -298,6 +311,7 @@ def cmd_matrix(args: argparse.Namespace) -> int:
         attacks=attacks,
         defenses=defenses,
         benchmarks=args.benchmarks or None,
+        opt_level=args.opt_level,
     )
     title = f"Attack x defense resilience matrix (profile={profile.name})"
     headers = GRID["matrix"].headers
@@ -351,6 +365,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         corpus_dir=args.corpus,
         progress=_progress,
         shrink_limit=args.shrink_limit,
+        opt_level=args.opt_level,
     )
     title = (
         f"Differential fuzz campaign (seed={args.seed}, "
@@ -434,6 +449,213 @@ def cmd_fuzz_replay(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_opt(args: argparse.Namespace) -> int:
+    """``dynunlock opt``: netlist-optimization statistics for a benchmark.
+
+    Optimizes both the raw benchmark netlist and its EFF-Dyn attack
+    model (the circuit every DIP iteration actually encodes), printing
+    per-pass gate counts and timings.
+    """
+    from repro.core.modeling import build_combinational_model
+    from repro.locking.effdyn import lock_with_effdyn
+    from repro.opt import optimize, resolve_level
+
+    profile = _profile_from_args(args)
+    level = resolve_level(args.level)
+    scale = args.scale or profile.scale
+    netlist = build_benchmark_netlist(args.benchmark, scale=scale)
+    key_bits = profile.effective_key_bits(netlist.n_dffs, args.key_bits)
+    lock = lock_with_effdyn(
+        netlist, key_bits=key_bits, rng=random.Random(args.lock_seed)
+    )
+    model = build_combinational_model(
+        netlist, lock.spec, lock.lfsr_taps, key_bits
+    )
+
+    headers = ["Target", "Pass", "Gates before", "Gates after", "Time (s)"]
+    rows: list[list] = []
+    summaries: dict[str, dict] = {}
+    for label, target in (("netlist", netlist), ("effdyn-model", model.netlist)):
+        result = optimize(target, level=level)
+        stats = result.stats
+        for record in stats.passes:
+            rows.append(
+                [
+                    label,
+                    record.name,
+                    record.gates_before,
+                    record.gates_after,
+                    f"{record.time_s:.3f}",
+                ]
+            )
+        rows.append(
+            [label, "TOTAL", stats.gates_before, stats.gates_after, f"{stats.time_s:.3f}"]
+        )
+        summaries[label] = stats.as_dict()
+        print(
+            f"  [=] {label}: {stats.gates_before} -> {stats.gates_after} gates "
+            f"({stats.reduction:.1%} removed), "
+            f"{len(stats.unused_inputs)} unused input(s)",
+            file=sys.stderr,
+        )
+    title = (
+        f"Netlist optimization (benchmark={args.benchmark}, scale=1/{scale}, "
+        f"level={level}, key_bits={key_bits})"
+    )
+    print(render_table(headers, rows, title=title))
+    if args.emit_json:
+        path = write_artifact(
+            args.emit_json,
+            "opt",
+            headers,
+            rows,
+            title=title,
+            profile=profile.name,
+            meta={
+                "benchmark": args.benchmark,
+                "scale": scale,
+                "level": level,
+                "key_bits": key_bits,
+                "targets": summaries,
+            },
+        )
+        print(f"  [=] wrote {path}", file=sys.stderr)
+    return 0
+
+
+def cmd_opt_bench(args: argparse.Namespace) -> int:
+    """``dynunlock opt-bench``: measure the optimized vs raw attack pipeline.
+
+    Runs the Table II grid twice through the scheduler -- once with
+    optimization disabled, once at the requested level -- cache-less so
+    the timings are honest, then writes ``BENCH_opt.json`` and fails
+    (exit 1) when the optimized pipeline is slower than the raw one by
+    more than ``--threshold``, or when optimization changed any cell's
+    attack outcome (success / exact-seed bits).
+    """
+    from repro.core.modeling import build_combinational_model
+    from repro.opt import optimize, resolve_level
+    from repro.reports.cells import build_table2_lock
+    from repro.reports.experiments import adapt_progress, table2_specs
+    from repro.runner.scheduler import run_jobs
+
+    profile = _profile_from_args(args)
+    level = resolve_level(args.level)
+    if level == 0:
+        print("opt-bench needs a non-zero --level to compare", file=sys.stderr)
+        return 2
+    benchmarks = args.benchmarks or None
+    jobs = _jobs_from_args(args)
+
+    reports = {}
+    for label, arm_level in (("no-opt", 0), ("opt", level)):
+        print(f"  [.] running table2 arm: {label}", file=sys.stderr)
+        specs = table2_specs(profile, benchmarks, opt_level=arm_level)
+        report = run_jobs(
+            specs, jobs=jobs, store=None, progress=adapt_progress(_progress)
+        )
+        report.raise_on_error()
+        reports[label] = report
+
+    def by_cell(report):
+        return {
+            (o.spec.params["benchmark"], o.spec.params["seed_index"]): o.result
+            for o in report.outcomes
+        }
+
+    raw, opt = by_cell(reports["no-opt"]), by_cell(reports["opt"])
+    outcome_mismatches = []
+    for (bench, seed), raw_cell in raw.items():
+        opt_cell = opt[(bench, seed)]
+        if (raw_cell["success"], raw_cell["exact_seed"]) != (
+            opt_cell["success"],
+            opt_cell["exact_seed"],
+        ):
+            outcome_mismatches.append(
+                f"{bench}/seed{seed}: success {raw_cell['success']}->"
+                f"{opt_cell['success']}, exact_seed "
+                f"{raw_cell['exact_seed']}->{opt_cell['exact_seed']}"
+            )
+
+    headers = [
+        "Benchmark",
+        "Model gates",
+        "Opt gates",
+        "Reduction",
+        "No-opt time (s)",
+        "Opt time (s)",
+        "Speedup",
+    ]
+    rows: list[list] = []
+    total_raw = total_opt = 0.0
+    bench_names = list(dict.fromkeys(bench for bench, _ in raw))
+    for bench in bench_names:
+        cells_raw = [v for (b, _), v in raw.items() if b == bench]
+        cells_opt = [v for (b, _), v in opt.items() if b == bench]
+        t_raw = sum(c["time_s"] for c in cells_raw)
+        t_opt = sum(c["time_s"] for c in cells_opt)
+        total_raw += t_raw
+        total_opt += t_opt
+        netlist, lock, kb = build_table2_lock(profile, bench)
+        model = build_combinational_model(
+            netlist, lock.spec, lock.lfsr_taps, kb
+        )
+        stats = optimize(model.netlist, level=level).stats
+        rows.append(
+            [
+                bench,
+                stats.gates_before,
+                stats.gates_after,
+                f"{stats.reduction:.0%}",
+                f"{t_raw:.2f}",
+                f"{t_opt:.2f}",
+                f"{t_raw / t_opt:.2f}x" if t_opt > 0 else "-",
+            ]
+        )
+
+    ratio = total_opt / total_raw if total_raw > 0 else 1.0
+    regressed = total_opt > total_raw * (1.0 + args.threshold)
+    title = f"Optimized vs raw attack pipeline (profile={profile.name}, level={level})"
+    print(render_table(headers, rows, title=title))
+    print(
+        f"  [=] total attack time: no-opt {total_raw:.2f}s, "
+        f"opt {total_opt:.2f}s (ratio {ratio:.2f}, budget "
+        f"{1.0 + args.threshold:.2f})",
+        file=sys.stderr,
+    )
+    if args.emit_json:
+        path = write_artifact(
+            args.emit_json,
+            "opt",
+            headers,
+            rows,
+            title=title,
+            profile=profile.name,
+            meta={
+                "level": level,
+                "threshold": args.threshold,
+                "jobs": jobs,
+                "total_no_opt_time_s": total_raw,
+                "total_opt_time_s": total_opt,
+                "total_attack_time_s": total_opt,
+                "ratio": ratio,
+                "outcome_mismatches": outcome_mismatches,
+                "regressed": bool(regressed),
+                "code_version": code_version()[:20],
+            },
+        )
+        print(f"  [=] wrote {path}", file=sys.stderr)
+    for mismatch in outcome_mismatches:
+        print(f"  [!] outcome changed under optimization: {mismatch}", file=sys.stderr)
+    if regressed:
+        print(
+            f"  [!] optimized pipeline exceeds the no-opt budget: "
+            f"{total_opt:.2f}s > {total_raw:.2f}s * {1.0 + args.threshold:.2f}",
+            file=sys.stderr,
+        )
+    return 1 if (regressed or outcome_mismatches) else 0
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     """``dynunlock run``: push one or more experiment grids through the runner."""
     names = list(GRID) if "all" in args.experiments else args.experiments
@@ -463,6 +685,17 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--profile", choices=sorted(PROFILES), default=None,
             help="experiment size profile (default: $REPRO_PROFILE or quick)",
+        )
+
+    def add_opt(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--opt-level", type=int, choices=(0, 1, 2), default=None,
+            help="netlist-optimization preprocessing level "
+                 "(default: $REPRO_OPT_LEVEL or 1; 2 adds SAT sweeping)",
+        )
+        p.add_argument(
+            "--no-opt", dest="opt_level", action="store_const", const=0,
+            help="disable netlist optimization (same as --opt-level 0)",
         )
 
     def add_runner(p: argparse.ArgumentParser) -> None:
@@ -515,6 +748,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--lock-seed", type=int, default=0)
     p.add_argument("--timeout", type=float, default=None)
     add_profile(p)
+    add_opt(p)
     p.set_defaults(func=cmd_attack)
 
     for name, func, has_benchmarks in [
@@ -529,7 +763,49 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("benchmarks", nargs="*", default=[])
         add_profile(p)
         add_runner(p)
+        add_opt(p)
         p.set_defaults(func=func)
+
+    p = sub.add_parser(
+        "opt", help="netlist-optimization statistics for a benchmark"
+    )
+    p.add_argument("benchmark")
+    p.add_argument("--scale", type=int, default=None,
+                   help="flop-count divisor (default: the profile's scale)")
+    p.add_argument("--level", type=int, choices=(0, 1, 2), default=None,
+                   help="optimization level (default: $REPRO_OPT_LEVEL or 1)")
+    p.add_argument("--key-bits", type=int, default=None)
+    p.add_argument("--lock-seed", type=int, default=0)
+    p.add_argument("--emit-json", default=None, metavar="DIR",
+                   help="write BENCH_opt.json + .csv artifacts to DIR")
+    add_profile(p)
+    p.set_defaults(func=cmd_opt)
+
+    p = sub.add_parser(
+        "opt-bench",
+        help="measure the optimized vs raw attack pipeline (Table II grid)",
+    )
+    p.add_argument(
+        "--benchmarks", nargs="*", default=[],
+        help="restrict the grid to these benchmarks (default: all of "
+             "Table II)",
+    )
+    p.add_argument("--level", type=int, choices=(1, 2), default=None,
+                   help="optimization level of the opt arm "
+                        "(default: $REPRO_OPT_LEVEL or 1)")
+    p.add_argument(
+        "--threshold", type=float, default=0.10, metavar="FRACTION",
+        help="fail when opt total time exceeds no-opt by this fraction "
+             "(default 0.10)",
+    )
+    p.add_argument(
+        "-j", "--jobs", type=int, default=1, metavar="N",
+        help="worker processes (1 = serial, 0 = one per CPU core)",
+    )
+    p.add_argument("--emit-json", default=None, metavar="DIR",
+                   help="write BENCH_opt.json + .csv artifacts to DIR")
+    add_profile(p)
+    p.set_defaults(func=cmd_opt_bench)
 
     p = sub.add_parser(
         "matrix", help="run the attack x defense resilience grid"
@@ -554,6 +830,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_profile(p)
     add_runner(p)
+    add_opt(p)
     p.set_defaults(func=cmd_matrix)
 
     p = sub.add_parser(
@@ -582,6 +859,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_profile(p)
     add_runner(p)
+    add_opt(p)
     p.set_defaults(func=cmd_fuzz)
 
     p = sub.add_parser(
@@ -614,6 +892,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_profile(p)
     add_runner(p)
+    add_opt(p)
     p.set_defaults(func=cmd_run)
 
     return parser

@@ -33,6 +33,7 @@ from repro.attack.satattack import SatAttack, SatAttackConfig, SatAttackResult
 from repro.core.modeling import CombinationalModel, build_combinational_model
 from repro.locking.effdyn import EffDynPublicView
 from repro.netlist.netlist import Netlist
+from repro.opt import optimize, resolve_level
 from repro.scan.oracle import ScanOracle
 from repro.util.timing import Stopwatch
 
@@ -44,7 +45,12 @@ class DynUnlockConfig:
     ``candidate_limit`` bounds candidate enumeration per round (the paper
     observes at most 128 candidates for practical key sizes);
     ``max_captures`` bounds the restart refinement; ``verify_patterns``
-    sets the replay budget of the brute-force step.
+    sets the replay budget of the brute-force step.  ``opt_level``
+    selects the :mod:`repro.opt` preprocessing level the combinational
+    model is rewritten at before SAT encoding and bit-parallel replay
+    (None = the active default, 0 = attack the raw model); the
+    optimizer pins the model's interface, so recovered seeds are
+    identical at every level.
     """
 
     candidate_limit: int = 256
@@ -54,6 +60,7 @@ class DynUnlockConfig:
     verify_patterns: int = 24
     include_pos: bool = True
     verify_rng_seed: int = 0xD15C0
+    opt_level: int | None = None
 
 
 @dataclass
@@ -114,7 +121,7 @@ class DynUnlock:
 
     # ------------------------------------------------------------------
     def _build_model(self, n_captures: int) -> CombinationalModel:
-        return build_combinational_model(
+        model = build_combinational_model(
             self.netlist,
             spec=self.view.spec,
             taps=self.view.lfsr_taps,
@@ -123,6 +130,14 @@ class DynUnlock:
             n_captures=n_captures,
             include_pos=self.config.include_pos,
         )
+        # Optimize once per round so the SAT session *and* the replay
+        # refinement both consume the reduced netlist (the interface is
+        # pinned, so a_inputs/key_inputs/b_outputs wiring is unchanged).
+        if resolve_level(self.config.opt_level) > 0:
+            model.netlist = optimize(
+                model.netlist, level=self.config.opt_level
+            ).netlist
+        return model
 
     def _oracle_fn(self, model: CombinationalModel, n_captures: int):
         n_a = len(model.a_inputs)
@@ -161,6 +176,7 @@ class DynUnlock:
                     max_iterations=cfg.max_iterations,
                     candidate_limit=cfg.candidate_limit,
                     timeout_s=cfg.timeout_s,
+                    opt_level=0,  # the model above is already optimized
                 ),
                 fixed_key_bits=fixed_bits,
             )

@@ -48,6 +48,7 @@ from repro.fuzz.invariants import (
     REPLAYABLE_INVARIANTS,
     check_attack_replay,
     check_key_equivalence,
+    check_opt_equivalence,
 )
 from repro.fuzz.shrink import shrink_trial
 from repro.matrix.registry import (
@@ -68,13 +69,24 @@ FUZZ_MAX_KEY_BITS = 6
 STABILITY_EVERY = 8
 
 
-def sample_trial_params(campaign_seed: int, index: int) -> dict[str, Any]:
+def sample_trial_params(
+    campaign_seed: int, index: int, opt_level: int | None = None
+) -> dict[str, Any]:
     """Derive trial ``index``'s full parameter dict from the campaign seed.
 
     All randomness flows through one ``hash_label`` stream keyed by the
     campaign seed and the trial index; the resulting dict is flat and
     JSON-safe so it can live in a :class:`JobSpec` and a corpus entry.
+
+    The *active* netlist-optimization level is captured into the params
+    (not sampled): it participates in the spec hash and is persisted in
+    every crash-corpus entry, so ``fuzz-replay`` re-runs a shrunk trial
+    through the same optimization pipeline that was live when the
+    failure was recorded -- replays stay reproducible even after the
+    process-wide default changes.
     """
+    from repro.opt import resolve_level
+
     rng = random.Random(hash_label(campaign_seed, f"fuzz/trial/{index}"))
     config = sample_config(rng)
     attack, defense = sample_applicable_pair(rng)
@@ -85,6 +97,7 @@ def sample_trial_params(campaign_seed: int, index: int) -> dict[str, Any]:
         "attack": attack,
         "defense": defense,
         "key_bits": key_bits,
+        "opt_level": resolve_level(opt_level),
         "trial_seed": hash_label(campaign_seed, f"fuzz/circuit/{index}"),
         # Via the serialization hook, not hand-enumeration: a field
         # added to GeneratorConfig automatically joins the spec hash,
@@ -93,10 +106,12 @@ def sample_trial_params(campaign_seed: int, index: int) -> dict[str, Any]:
     }
 
 
-def fuzz_trial_specs(profile, trials: int, seed: int) -> list[JobSpec]:
+def fuzz_trial_specs(
+    profile, trials: int, seed: int, opt_level: int | None = None
+) -> list[JobSpec]:
     """Enumerate a whole campaign as scheduler specs."""
     return [
-        JobSpec.make("fuzz", profile, **sample_trial_params(seed, i))
+        JobSpec.make("fuzz", profile, **sample_trial_params(seed, i, opt_level))
         for i in range(trials)
     ]
 
@@ -114,6 +129,7 @@ def fuzz_cell(
     gates_per_flop: float,
     max_fanin: int,
     locality: int,
+    opt_level: int | None = None,
 ) -> dict[str, Any]:
     """Run one fuzz trial: build, check equivalence, attack, check replay.
 
@@ -122,7 +138,16 @@ def fuzz_cell(
     the invariants under test).  A lock that cannot be built at this
     shape (e.g. scramble with no equal-length chain pair) is an honest
     structural skip, not a violation.
+
+    ``opt_level`` is the optimization level the trial's attack runs at
+    (recorded by :func:`sample_trial_params`, persisted in corpus
+    entries); the opt-equivalence invariant always checks every live
+    level on the sampled circuit, so the SAT sweep is fuzzed even when
+    attacks preprocess at the cheaper default.
     """
+    from repro.matrix.registry import call_attack
+    from repro.opt import MAX_LEVEL, resolve_level
+
     config = config_from_dict(
         {
             "n_flops": n_flops,
@@ -135,6 +160,7 @@ def fuzz_cell(
     )
     attack_spec = get_attack(attack)
     defense_spec = get_defense(defense)
+    level = resolve_level(opt_level)
     rng = random.Random(hash_label(trial_seed, f"fuzz/{defense}/{attack}"))
     netlist = generate_circuit(config, rng, name=f"fuzz{trial_seed % 0xFFFF:04x}")
     kb = max(1, min(key_bits, netlist.n_dffs - 1))
@@ -144,23 +170,35 @@ def fuzz_cell(
         "n_flops": netlist.n_dffs,
         "built": False,
         "key_bits": kb,
+        "opt_level": level,
         "success": False,
         "verified": False,
         "iterations": 0,
         "queries": 0,
         "violations": [],
     }
+    violations = [
+        v.as_dict()
+        for v in check_opt_equivalence(
+            netlist, rng, levels=range(1, MAX_LEVEL + 1)
+        )
+    ]
     try:
         lock = defense_spec.build(netlist, kb, rng)
     except ValueError as exc:
         base["skip_reason"] = str(exc)
+        base["violations"] = violations
         return base
     base["built"] = True
     base["key_bits"] = int(getattr(lock, "key_bits", kb))
 
-    violations = [v.as_dict() for v in check_key_equivalence(lock, rng)]
-    outcome = attack_spec.run_fn(
-        lock, profile=profile, timeout_s=profile.timeout_s
+    violations += [v.as_dict() for v in check_key_equivalence(lock, rng)]
+    outcome = call_attack(
+        attack_spec,
+        lock,
+        profile=profile,
+        timeout_s=profile.timeout_s,
+        opt_level=level,
     )
     violations += [v.as_dict() for v in check_attack_replay(lock, outcome, rng)]
     base.update(
@@ -292,6 +330,7 @@ def run_campaign(
     stability_every: int = STABILITY_EVERY,
     shrink_limit: int = 8,
     shrink_evals: int = 48,
+    opt_level: int | None = None,
 ) -> CampaignReport:
     """Run one seeded campaign end to end; see the module docstring.
 
@@ -299,10 +338,12 @@ def run_campaign(
     in chunks and stops starting new ones once the budget is spent
     (already-dispatched chunks finish).  Violations are shrunk (up to
     ``shrink_limit`` of them) and written to ``corpus_dir`` when given.
+    ``opt_level`` overrides the optimization level recorded into every
+    trial (None = the active default).
     """
     started = time.perf_counter()
     say = progress if progress is not None else (lambda _msg: None)
-    specs = fuzz_trial_specs(profile, trials, seed)
+    specs = fuzz_trial_specs(profile, trials, seed, opt_level)
     report = CampaignReport(seed=seed, n_trials=trials)
 
     from repro.reports.experiments import adapt_progress

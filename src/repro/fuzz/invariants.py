@@ -1,6 +1,6 @@
 """Metamorphic invariants the fuzzer checks on every trial.
 
-Two per-trial invariants live here; both are *differential*: each
+Three per-trial invariants live here; all are *differential*: each
 compares two independent computation paths that must agree, so a
 violation localises a soundness bug rather than a tuning regression.
 
@@ -20,6 +20,12 @@ violation localises a soundness bug rather than a tuning regression.
     verification: the replay oracle here is rebuilt from the recovered
     secret by this module, so an adapter that rubber-stamps its own
     answer still gets caught.
+
+``opt-equivalence``
+    The :mod:`repro.opt` optimizer applied to the trial's sampled
+    netlist must preserve the interface exactly and the replay
+    behaviour bit-for-bit at every level -- the adversarial test bed
+    for the pass pipeline that every attack now encodes through.
 
 Both checkers dispatch on the concrete lock class (every family needs a
 different notion of "operate with the correct key"), draw all patterns
@@ -48,13 +54,14 @@ from repro.util.bitvec import pack_lanes, random_bits
 #: Invariant names (= crash-corpus subdirectories).
 KEY_EQUIVALENCE = "key-equivalence"
 ATTACK_REPLAY = "attack-replay"
+OPT_EQUIVALENCE = "opt-equivalence"
 EXEC_STABILITY = "exec-stability"
 CACHE_STABILITY = "cache-stability"
 CRASH = "crash"  # the trial cell raised instead of returning a result
 
 #: The invariants a corpus entry can deterministically re-demonstrate in
 #: a single process (the stability pair needs a pool/store to diverge).
-REPLAYABLE_INVARIANTS = (KEY_EQUIVALENCE, ATTACK_REPLAY, CRASH)
+REPLAYABLE_INVARIANTS = (KEY_EQUIVALENCE, ATTACK_REPLAY, OPT_EQUIVALENCE, CRASH)
 
 #: Scan-protocol queries per differential check.  Protocol simulation is
 #: the slow side, so this stays small; the bit-parallel reference side is
@@ -295,6 +302,63 @@ def _io_key_mismatch(
         if [locked_rows[j][k] for k in order] != original_rows[j]:
             return j
     return None
+
+
+# ----------------------------------------------------------------------
+# opt-equivalence
+# ----------------------------------------------------------------------
+def check_opt_equivalence(
+    netlist: Netlist,
+    rng: random.Random,
+    levels: Sequence[int] = (1, 2),
+    n_patterns: int | None = None,
+) -> list[InvariantViolation]:
+    """``optimize(netlist) == netlist`` under bit-parallel replay.
+
+    For every requested level: the optimizer must keep the interface
+    (input/output/flop names and order) byte-identical and the observed
+    behaviour -- captured next-state per flop plus primary outputs, the
+    exact :func:`predict_capture` semantics -- equal on random packed
+    pattern lanes.  This is how the optimizer is adversarially tested by
+    the campaign machinery: every sampled circuit shape exercises it,
+    failures shrink and land in the crash corpus like any other bug.
+    """
+    from repro.opt import optimize
+
+    n = n_patterns or N_COMB_PATTERNS
+    states = [random_bits(netlist.n_dffs, rng) for _ in range(n)]
+    pis = [random_bits(len(netlist.inputs), rng) for _ in range(n)]
+    want = predict_capture(netlist, states, pis)
+
+    violations: list[InvariantViolation] = []
+    for level in levels:
+        if level < 1:
+            continue  # level 0 is the identity by definition
+        optimized = optimize(netlist, level=level).netlist
+        if (
+            optimized.inputs != netlist.inputs
+            or optimized.outputs != netlist.outputs
+            or list(optimized.dffs) != list(netlist.dffs)
+            or [d.d for d in optimized.dffs.values()]
+            != [d.d for d in netlist.dffs.values()]
+        ):
+            violations.append(
+                InvariantViolation(
+                    OPT_EQUIVALENCE,
+                    f"level {level} optimization altered the netlist "
+                    "interface (pinned nets must survive unchanged)",
+                )
+            )
+            continue
+        if predict_capture(optimized, states, pis) != want:
+            violations.append(
+                InvariantViolation(
+                    OPT_EQUIVALENCE,
+                    f"level {level} optimization diverges from the "
+                    "original netlist under bit-parallel replay",
+                )
+            )
+    return violations
 
 
 # ----------------------------------------------------------------------

@@ -32,6 +32,7 @@ from typing import TYPE_CHECKING, Any, Callable, Sequence
 
 from repro.matrix.registry import (
     attack_names,
+    call_attack,
     defense_names,
     get_attack,
     get_defense,
@@ -75,8 +76,14 @@ def matrix_cell(
     defense: str,
     benchmark: str,
     seed_index: int,
+    opt_level: int | None = None,
 ) -> dict[str, Any]:
-    """Run one (attack, defense, benchmark, seed) cell of the grid."""
+    """Run one (attack, defense, benchmark, seed) cell of the grid.
+
+    ``opt_level`` overrides the attack's netlist-optimization
+    preprocessing level (:mod:`repro.opt`); None leaves each attack at
+    the active default, 0 disables optimization for the cell.
+    """
     from repro.bench_suite.registry import build_benchmark_netlist
 
     attack_spec = get_attack(attack)
@@ -95,8 +102,12 @@ def matrix_cell(
         hash_label(seed_index, f"matrix/{defense}/{benchmark}")
     )
     lock = defense_spec.build(netlist, key_bits, rng)
-    outcome = attack_spec.run_fn(
-        lock, profile=profile, timeout_s=profile.timeout_s
+    outcome = call_attack(
+        attack_spec,
+        lock,
+        profile=profile,
+        timeout_s=profile.timeout_s,
+        opt_level=opt_level,
     )
     return {
         "attack": attack,
@@ -118,8 +129,17 @@ def matrix_specs(
     attacks: Sequence[str] | None = None,
     defenses: Sequence[str] | None = None,
     benchmarks: Sequence[str] | None = None,
+    opt_level: int | None = None,
 ) -> list[JobSpec]:
-    """Enumerate every *applicable* cell of the grid (n/a pairs skipped)."""
+    """Enumerate every *applicable* cell of the grid (n/a pairs skipped).
+
+    The *resolved* optimization level (explicit ``opt_level``, else
+    ``REPRO_OPT_LEVEL``, else the default) always joins the cell params
+    and hence the cache key, so a level change can never replay stale
+    cached results.
+    """
+    from repro.opt import resolve_level
+
     attack_list = list(attacks) if attacks is not None else attack_names()
     defense_list = list(defenses) if defenses is not None else defense_names()
     bench_list = (
@@ -127,6 +147,7 @@ def matrix_specs(
         if benchmarks is not None
         else default_matrix_benchmarks(profile)
     )
+    extra = {"opt_level": resolve_level(opt_level)}
     specs: list[JobSpec] = []
     for defense in defense_list:
         defense_spec = get_defense(defense)
@@ -143,6 +164,7 @@ def matrix_specs(
                             defense=defense,
                             benchmark=benchmark,
                             seed_index=seed_index,
+                            **extra,
                         )
                     )
     return specs
@@ -323,13 +345,18 @@ def run_matrix(
     attacks: Sequence[str] | None = None,
     defenses: Sequence[str] | None = None,
     benchmarks: Sequence[str] | None = None,
+    opt_level: int | None = None,
 ):
     """Run the grid end to end: ``(rows, RunReport)``."""
     from repro.reports.experiments import adapt_progress
     from repro.runner.scheduler import run_jobs
 
     specs = matrix_specs(
-        profile, attacks=attacks, defenses=defenses, benchmarks=benchmarks
+        profile,
+        attacks=attacks,
+        defenses=defenses,
+        benchmarks=benchmarks,
+        opt_level=opt_level,
     )
     report = run_jobs(
         specs, jobs=jobs, store=store, progress=adapt_progress(progress)

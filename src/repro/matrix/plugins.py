@@ -55,7 +55,11 @@ def _iterations_detail(iterations: int, runtime_s: float) -> str:
 # attack adapters (native result -> AttackOutcome)
 # ----------------------------------------------------------------------
 def _attack_dynunlock(
-    lock, *, profile: ExperimentProfile, timeout_s: float | None
+    lock,
+    *,
+    profile: ExperimentProfile,
+    timeout_s: float | None,
+    opt_level: int | None = None,
 ) -> AttackOutcome:
     oracle = lock.make_oracle()
     result = dynunlock(
@@ -63,7 +67,9 @@ def _attack_dynunlock(
         lock.public_view(),
         oracle,
         DynUnlockConfig(
-            timeout_s=timeout_s, candidate_limit=profile.candidate_limit
+            timeout_s=timeout_s,
+            candidate_limit=profile.candidate_limit,
+            opt_level=opt_level,
         ),
     )
     # DynUnlock's success criterion *is* replay verification: the
@@ -84,7 +90,11 @@ def _attack_dynunlock(
 
 
 def _attack_scansat(
-    lock, *, profile: ExperimentProfile, timeout_s: float | None
+    lock,
+    *,
+    profile: ExperimentProfile,
+    timeout_s: float | None,
+    opt_level: int | None = None,
 ) -> AttackOutcome:
     oracle = lock.make_oracle()
     result = scansat_attack(
@@ -93,6 +103,7 @@ def _attack_scansat(
         oracle,
         candidate_limit=profile.candidate_limit,
         timeout_s=timeout_s,
+        opt_level=opt_level,
     )
     return AttackOutcome(
         success=bool(result.success),
@@ -106,7 +117,11 @@ def _attack_scansat(
 
 
 def _attack_scansat_dyn(
-    lock, *, profile: ExperimentProfile, timeout_s: float | None
+    lock,
+    *,
+    profile: ExperimentProfile,
+    timeout_s: float | None,
+    opt_level: int | None = None,
 ) -> AttackOutcome:
     oracle = lock.make_oracle()
     result = scansat_dyn_attack(
@@ -115,6 +130,7 @@ def _attack_scansat_dyn(
         oracle,
         candidate_limit=profile.candidate_limit,
         timeout_s=timeout_s,
+        opt_level=opt_level,
     )
     return AttackOutcome(
         success=bool(result.success),
@@ -145,7 +161,11 @@ def _verify_dfs_key(lock: DfsLock, oracle, key, rng: random.Random) -> bool:
 
 
 def _attack_shift_and_leak(
-    lock: DfsLock, *, profile: ExperimentProfile, timeout_s: float | None
+    lock: DfsLock,
+    *,
+    profile: ExperimentProfile,
+    timeout_s: float | None,
+    opt_level: int | None = None,
 ) -> AttackOutcome:
     oracle = lock.make_oracle()
     result = shift_and_leak_attack(
@@ -154,6 +174,7 @@ def _attack_shift_and_leak(
         oracle,
         candidate_limit=min(64, profile.candidate_limit),
         timeout_s=timeout_s,
+        opt_level=opt_level,
     )
     verified = False
     if result.recovered_key is not None:
@@ -186,7 +207,11 @@ def _verify_io_key(lock: IoLock, oracle, key, rng: random.Random) -> bool:
 
 
 def _attack_sat(
-    lock: IoLock, *, profile: ExperimentProfile, timeout_s: float | None
+    lock: IoLock,
+    *,
+    profile: ExperimentProfile,
+    timeout_s: float | None,
+    opt_level: int | None = None,
 ) -> AttackOutcome:
     oracle = lock.make_oracle()
     attack = SatAttack(
@@ -194,7 +219,9 @@ def _attack_sat(
         key_inputs=lock.key_inputs,
         oracle_fn=oracle.query,
         config=SatAttackConfig(
-            candidate_limit=profile.candidate_limit, timeout_s=timeout_s
+            candidate_limit=profile.candidate_limit,
+            timeout_s=timeout_s,
+            opt_level=opt_level,
         ),
     )
     result = attack.run()
@@ -218,7 +245,11 @@ def _attack_sat(
 
 
 def _attack_scramble_sat(
-    lock, *, profile: ExperimentProfile, timeout_s: float | None
+    lock,
+    *,
+    profile: ExperimentProfile,
+    timeout_s: float | None,
+    opt_level: int | None = None,
 ) -> AttackOutcome:
     oracle = lock.make_oracle()
     result = scramble_sat_attack(
@@ -227,6 +258,7 @@ def _attack_scramble_sat(
         oracle,
         candidate_limit=profile.candidate_limit,
         timeout_s=timeout_s,
+        opt_level=opt_level,
     )
     return AttackOutcome(
         success=bool(result.success),
@@ -240,7 +272,11 @@ def _attack_scramble_sat(
 
 
 def _attack_bruteforce(
-    lock, *, profile: ExperimentProfile, timeout_s: float | None
+    lock,
+    *,
+    profile: ExperimentProfile,
+    timeout_s: float | None,
+    opt_level: int | None = None,
 ) -> AttackOutcome:
     """Exhaustive key search by bit-parallel oracle replay.
 
@@ -307,6 +343,13 @@ def _attack_bruteforce(
         raise TypeError(
             f"brute force has no replay model for {type(lock).__name__}"
         )
+
+    from repro.opt import optimize, resolve_level
+
+    if resolve_level(opt_level) > 0:
+        # One packed lane per candidate key: the replay netlist is the
+        # whole per-pattern cost, so shrink it before the sweep.
+        model.netlist = optimize(model.netlist, level=opt_level).netlist
 
     refinement = refine_candidates_by_replay(
         model,

@@ -30,6 +30,7 @@ live in :mod:`repro.matrix.plugins` and are loaded lazily by
 
 from __future__ import annotations
 
+import inspect
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, Mapping
@@ -189,6 +190,40 @@ def attack_names() -> list[str]:
     """Registered attack names in registration order."""
     ensure_builtins()
     return list(_ATTACKS)
+
+
+def _accepts_kwarg(fn: Callable, name: str) -> bool:
+    try:
+        parameters = inspect.signature(fn).parameters
+    except (TypeError, ValueError):  # builtins / C callables
+        return False
+    if name in parameters:
+        return True
+    return any(
+        p.kind is inspect.Parameter.VAR_KEYWORD for p in parameters.values()
+    )
+
+
+def call_attack(
+    attack: AttackSpec,
+    lock: Any,
+    *,
+    profile,
+    timeout_s: float | None,
+    opt_level: int | None = None,
+) -> AttackOutcome:
+    """Invoke an attack runner with the registry's calling convention.
+
+    ``opt_level`` (the netlist-optimization preprocessing level, see
+    :mod:`repro.opt`) is forwarded only when the runner's signature
+    accepts it, so plugins written before the optimizer existed -- and
+    test fakes with the minimal ``(lock, *, profile, timeout_s)`` shape
+    -- keep working; they simply run at the attack's own default level.
+    """
+    kwargs: dict[str, Any] = {"profile": profile, "timeout_s": timeout_s}
+    if opt_level is not None and _accepts_kwarg(attack.run_fn, "opt_level"):
+        kwargs["opt_level"] = opt_level
+    return attack.run_fn(lock, **kwargs)
 
 
 def is_applicable(attack: AttackSpec, defense: DefenseSpec) -> bool:

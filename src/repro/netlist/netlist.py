@@ -57,6 +57,7 @@ class Netlist:
         self.dffs: dict[str, Dff] = {}  # keyed by Q net
         self._drivers: set[str] = set()
         self._topo_cache: list[Gate] | None = None
+        self._fanout_cache: dict[str, list[Gate]] | None = None
 
     # ------------------------------------------------------------------
     # construction
@@ -76,15 +77,19 @@ class Netlist:
         self._claim_driver(output, "gate output")
         gate = Gate(output=output, gtype=gtype, inputs=tuple(inputs))
         self.gates[output] = gate
-        self._topo_cache = None
+        self._invalidate_caches()
         return gate
 
     def add_dff(self, q: str, d: str) -> Dff:
         self._claim_driver(q, "flip-flop output")
         dff = Dff(q=q, d=d)
         self.dffs[q] = dff
-        self._topo_cache = None
+        self._invalidate_caches()
         return dff
+
+    def _invalidate_caches(self) -> None:
+        self._topo_cache = None
+        self._fanout_cache = None
 
     def _claim_driver(self, net: str, kind: str) -> None:
         if net in self._drivers:
@@ -136,11 +141,20 @@ class Netlist:
         return nets
 
     def fanout_map(self) -> dict[str, list[Gate]]:
-        """Map net -> gates reading it (DFF D pins excluded)."""
+        """Map net -> gates reading it (DFF D pins excluded).
+
+        Cached between mutations (``add_gate``/``add_dff`` invalidate),
+        since hot loops -- the optimizer's rewrite passes, structural
+        analyses -- call this repeatedly on a settled netlist.  Treat
+        the returned mapping as read-only.
+        """
+        if self._fanout_cache is not None:
+            return self._fanout_cache
         fanout: dict[str, list[Gate]] = {}
         for gate in self.gates.values():
             for net in gate.inputs:
                 fanout.setdefault(net, []).append(gate)
+        self._fanout_cache = fanout
         return fanout
 
     # ------------------------------------------------------------------

@@ -36,14 +36,19 @@ from repro.reports.profiles import ExperimentProfile
 from repro.util.rng import hash_label
 
 
-def table2_cell(
+def build_table2_lock(
     profile: ExperimentProfile,
-    *,
     benchmark: str,
-    seed_index: int,
+    seed_index: int = 0,
     key_bits: int | None = None,
-) -> dict[str, Any]:
-    """Attack one Table II benchmark under one LFSR seed."""
+):
+    """The exact (netlist, lock, key_bits) a table2 cell attacks.
+
+    Shared by :func:`table2_cell`, the ``dynunlock opt-bench`` gate,
+    and the opt benches, so the RNG-label convention
+    (``hash_label(seed_index, "table2/<benchmark>")``) and the key-width
+    derivation live in one place.
+    """
     from repro.bench_suite.registry import build_benchmark_netlist
     from repro.locking.effdyn import lock_with_effdyn
 
@@ -51,6 +56,27 @@ def table2_cell(
     kb = profile.effective_key_bits(netlist.n_dffs, key_bits)
     rng = random.Random(hash_label(seed_index, f"table2/{benchmark}"))
     lock = lock_with_effdyn(netlist, key_bits=kb, rng=rng)
+    return netlist, lock, kb
+
+
+def table2_cell(
+    profile: ExperimentProfile,
+    *,
+    benchmark: str,
+    seed_index: int,
+    key_bits: int | None = None,
+    opt_level: int | None = None,
+) -> dict[str, Any]:
+    """Attack one Table II benchmark under one LFSR seed.
+
+    ``opt_level`` pins the :mod:`repro.opt` preprocessing level; the
+    spec builders always bake the resolved level into the params, so it
+    participates in the cache key (None = resolve the active default
+    here, for direct callers).
+    """
+    netlist, lock, kb = build_table2_lock(
+        profile, benchmark, seed_index, key_bits
+    )
     result = dynunlock(
         netlist,
         lock.public_view(),
@@ -58,6 +84,7 @@ def table2_cell(
         DynUnlockConfig(
             timeout_s=profile.timeout_s,
             candidate_limit=profile.candidate_limit,
+            opt_level=opt_level,
         ),
     )
     return {
@@ -86,6 +113,7 @@ def table1_cell(
     *,
     defense: str,
     netlist: Netlist | None = None,
+    opt_level: int | None = None,
 ) -> dict[str, Any]:
     """Break one Table I defense with its published attack.
 
@@ -97,7 +125,7 @@ def table1_cell(
     deterministic default.
     """
     from repro.bench_suite.registry import build_benchmark_netlist
-    from repro.matrix.registry import get_attack, get_defense
+    from repro.matrix.registry import call_attack, get_attack, get_defense
 
     if defense not in _TABLE1_DEFENSES:
         raise ValueError(
@@ -113,8 +141,12 @@ def table1_cell(
         hash_label(_TABLE1_RNG_INDEX[defense], f"table1/{defense}")
     )
     lock = defense_spec.build(netlist, key_bits, rng)
-    outcome = attack_spec.run_fn(
-        lock, profile=profile, timeout_s=profile.timeout_s
+    outcome = call_attack(
+        attack_spec,
+        lock,
+        profile=profile,
+        timeout_s=profile.timeout_s,
+        opt_level=opt_level,
     )
     return {
         "defense": defense_spec.display,
@@ -134,6 +166,7 @@ def scaling_cell(
     key_bits: int,
     n_inputs: int = 6,
     n_outputs: int = 6,
+    opt_level: int | None = None,
 ) -> dict[str, Any]:
     """One point of the Section IV flop-scaling study, one seed."""
     from repro.bench_suite.generator import GeneratorConfig, generate_circuit
@@ -147,7 +180,7 @@ def scaling_cell(
         netlist,
         lock.public_view(),
         lock.make_oracle(),
-        DynUnlockConfig(timeout_s=profile.timeout_s),
+        DynUnlockConfig(timeout_s=profile.timeout_s, opt_level=opt_level),
     )
     return {
         "n_flops": n_flops,
@@ -165,6 +198,7 @@ def ablation_cell(
     prng: str,
     n_flops: int,
     key_bits: int,
+    opt_level: int | None = None,
 ) -> dict[str, Any]:
     """One PRNG variant of the Section V limitation study."""
     from repro.bench_suite.generator import GeneratorConfig, generate_circuit
@@ -215,7 +249,7 @@ def ablation_cell(
         netlist,
         lock.public_view(),
         oracle,
-        DynUnlockConfig(timeout_s=profile.timeout_s),
+        DynUnlockConfig(timeout_s=profile.timeout_s, opt_level=opt_level),
     )
     return {
         "prng": prng,

@@ -33,6 +33,7 @@ from typing import Callable, Sequence
 from repro.bench_suite.registry import TABLE2_BENCHMARKS, TABLE3_BENCHMARKS
 from repro.matrix.grid import MATRIX_HEADERS, matrix_rows, matrix_specs
 from repro.netlist.netlist import Netlist
+from repro.opt import resolve_level
 from repro.reports.cells import _TABLE1_DEFENSES, table1_cell
 from repro.reports.profiles import ExperimentProfile
 from repro.runner.scheduler import JobOutcome, run_jobs
@@ -162,9 +163,18 @@ def table2_specs(
     benchmarks: Sequence[str] | None = None,
     key_bits: int | None = None,
     experiment: str = "table2",
+    opt_level: int | None = None,
 ) -> list[JobSpec]:
-    """Enumerate the (benchmark x LFSR seed) grid for Table II."""
+    """Enumerate the (benchmark x LFSR seed) grid for Table II.
+
+    The *resolved* optimization level (explicit ``opt_level``, else
+    ``REPRO_OPT_LEVEL``, else the default) always joins the cell params
+    -- and hence the cache key -- so a level change in any form can
+    never replay stale cached results.  Resolution happens here, in the
+    driver process, not in the workers.
+    """
     names = list(benchmarks) if benchmarks is not None else TABLE2_BENCHMARKS
+    extra = {"opt_level": resolve_level(opt_level)}
     return [
         JobSpec.make(
             experiment,
@@ -172,6 +182,7 @@ def table2_specs(
             benchmark=name,
             seed_index=seed_index,
             key_bits=key_bits,
+            **extra,
         )
         for name in names
         for seed_index in range(profile.n_seeds)
@@ -270,6 +281,7 @@ def table3_specs(
     profile: ExperimentProfile,
     benchmarks: Sequence[str] | None = None,
     key_sizes: Sequence[int] | None = None,
+    opt_level: int | None = None,
 ) -> list[JobSpec]:
     """Enumerate the (benchmark x key size x seed) grid for Table III."""
     names = list(benchmarks) if benchmarks is not None else TABLE3_BENCHMARKS
@@ -280,7 +292,13 @@ def table3_specs(
     for name in names:
         for kb in sizes:
             specs.extend(
-                table2_specs(profile, [name], key_bits=kb, experiment="table3")
+                table2_specs(
+                    profile,
+                    [name],
+                    key_bits=kb,
+                    experiment="table3",
+                    opt_level=opt_level,
+                )
             )
     return specs
 
@@ -362,10 +380,13 @@ class Table1Row:
 TABLE1_HEADERS = ["Defense", "Obfuscation", "Attack", "Broken", "Detail"]
 
 
-def table1_specs(profile: ExperimentProfile) -> list[JobSpec]:
+def table1_specs(
+    profile: ExperimentProfile, opt_level: int | None = None
+) -> list[JobSpec]:
     """Enumerate the four defense/attack pairings of Table I."""
+    extra = {"opt_level": resolve_level(opt_level)}
     return [
-        JobSpec.make("table1", profile, defense=defense)
+        JobSpec.make("table1", profile, defense=defense, **extra)
         for defense in _TABLE1_DEFENSES
     ]
 
@@ -456,9 +477,11 @@ def scaling_specs(
     flop_counts: Sequence[int] = (12, 20, 36, 60),
     key_bits: int = 8,
     n_seeds: int | None = None,
+    opt_level: int | None = None,
 ) -> list[JobSpec]:
     """Enumerate the (flop count x seed) grid of the scaling study."""
     seeds = n_seeds if n_seeds is not None else profile.n_seeds
+    extra = {"opt_level": resolve_level(opt_level)}
     return [
         JobSpec.make(
             "scaling",
@@ -466,6 +489,7 @@ def scaling_specs(
             n_flops=n_flops,
             seed_index=seed_index,
             key_bits=key_bits,
+            **extra,
         )
         for n_flops in flop_counts
         for seed_index in range(seeds)
@@ -534,12 +558,21 @@ ABLATION_HEADERS = ["PRNG", "Linear model valid", "Attack success", "Exact seed"
 
 
 def ablation_specs(
-    profile: ExperimentProfile, n_flops: int = 10, key_bits: int = 5
+    profile: ExperimentProfile,
+    n_flops: int = 10,
+    key_bits: int = 5,
+    opt_level: int | None = None,
 ) -> list[JobSpec]:
     """Enumerate the LFSR-vs-nonlinear pair of the Section V ablation."""
+    extra = {"opt_level": resolve_level(opt_level)}
     return [
         JobSpec.make(
-            "ablation", profile, prng=prng, n_flops=n_flops, key_bits=key_bits
+            "ablation",
+            profile,
+            prng=prng,
+            n_flops=n_flops,
+            key_bits=key_bits,
+            **extra,
         )
         for prng in ("lfsr", "nonlinear-filter")
     ]

@@ -209,3 +209,57 @@ class TestFuzzCommand:
         assert code == 1
         assert "NO LONGER REPRODUCES" in captured.out
         assert "no longer reproduce" in captured.err
+
+
+class TestOptCommands:
+    def test_opt_level_flags_parse(self):
+        args = build_parser().parse_args(["table2", "--no-opt"])
+        assert args.opt_level == 0
+        args = build_parser().parse_args(["attack", "s5378", "--opt-level", "2"])
+        assert args.opt_level == 2
+        # Default is None: the attacks resolve the active level themselves.
+        assert build_parser().parse_args(["fuzz"]).opt_level is None
+        assert build_parser().parse_args(["matrix"]).opt_level is None
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table2", "--opt-level", "9"])
+
+    def test_opt_stats_command(self, capsys, tmp_path):
+        code = main(["opt", "s5378", "--scale", "32", "--emit-json", str(tmp_path)])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "structhash" in captured.out and "TOTAL" in captured.out
+        assert "effdyn-model" in captured.out
+        assert (tmp_path / "BENCH_opt.json").exists()
+
+    def test_opt_command_level2_runs_satsweep(self, capsys):
+        assert main(["opt", "s5378", "--scale", "32", "--level", "2"]) == 0
+        assert "satsweep" in capsys.readouterr().out
+
+    def test_attack_with_no_opt(self, capsys):
+        code = main(
+            ["attack", "s5378", "--scale", "64", "--key-bits", "4",
+             "--timeout", "120", "--no-opt"]
+        )
+        assert code == 0
+        assert "success          : True" in capsys.readouterr().out
+
+    def test_opt_bench_single_benchmark(self, capsys, tmp_path):
+        import json
+
+        code = main(
+            ["opt-bench", "--profile", "quick", "--benchmarks", "s5378",
+             "--emit-json", str(tmp_path)]
+        )
+        captured = capsys.readouterr()
+        # The timing gate may trip on one tiny benchmark's noise; what
+        # must hold is the artifact shape and outcome stability.
+        assert code in (0, 1)
+        assert "Optimized vs raw attack pipeline" in captured.out
+        artifact = json.loads((tmp_path / "BENCH_opt.json").read_text())
+        assert artifact["meta"]["outcome_mismatches"] == []
+        assert artifact["meta"]["total_no_opt_time_s"] > 0
+        assert len(artifact["rows"]) == 1
+
+    def test_opt_bench_rejects_level_zero(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["opt-bench", "--level", "0"])

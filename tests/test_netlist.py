@@ -162,6 +162,25 @@ class TestNetlistConstruction:
         netlist.add_gate("y", GateType.NOT, ["x"])
         assert len(netlist.topological_gates()) == 2
 
+    def test_fanout_map_is_cached_until_mutation(self):
+        netlist = Netlist("t")
+        netlist.add_input("a")
+        netlist.add_gate("x", GateType.NOT, ["a"])
+        first = netlist.fanout_map()
+        assert netlist.fanout_map() is first  # settled netlist: cached
+        netlist.add_gate("y", GateType.NOT, ["a"])
+        second = netlist.fanout_map()
+        assert second is not first
+        assert {g.output for g in second["a"]} == {"x", "y"}
+
+    def test_fanout_cache_invalidated_by_add_dff(self):
+        netlist = Netlist("t")
+        netlist.add_input("a")
+        netlist.add_gate("x", GateType.NOT, ["a"])
+        first = netlist.fanout_map()
+        netlist.add_dff(q="q0", d="x")
+        assert netlist.fanout_map() is not first
+
 
 class TestNetNamer:
     def test_avoids_existing_nets(self):
