@@ -16,10 +16,18 @@
 #                           BENCH_opt.json to $(OPT_BENCH_DIR) and fails
 #                           when optimization slows the total attack time
 #                           by >10% or changes any attack outcome
+#   make store-bench      - head-to-head result-store benchmark (json vs
+#                           sharded vs sqlite backends); writes
+#                           BENCH_store.json to $(STORE_BENCH_DIR) and
+#                           fails when the default json backend's
+#                           put+get path regresses >25% against
+#                           benchmarks/baselines/store_quick.json
 #   make refresh-baseline - regenerate the Table II timing baseline from a
 #                           clean (cache-less) quick run and install it at
 #                           benchmarks/baselines/table2_quick.json; review
 #                           the diff and commit it to bless the new budget
+#   make refresh-store-baseline - same blessing dance for the store bench
+#                           baseline (benchmarks/baselines/store_quick.json)
 #   make lint             - ruff check (whole repo) + ruff format --check (runner)
 #
 # REPRO_PROFILE=quick|full|paper scales the bench instances (default quick).
@@ -32,8 +40,11 @@ RUFF ?= ruff
 COVERAGE_FLOOR = benchmarks/baselines/coverage_floor.txt
 BASELINE_DIR = .bench_refresh
 OPT_BENCH_DIR ?= results
+STORE_BENCH_DIR ?= results
+STORE_BASELINE = benchmarks/baselines/store_quick.json
 
-.PHONY: verify bench test-all coverage matrix fuzz opt-bench refresh-baseline lint
+.PHONY: verify bench test-all coverage matrix fuzz opt-bench store-bench \
+  refresh-baseline refresh-store-baseline lint
 
 verify:
 	$(PYTEST) -x -q
@@ -64,6 +75,15 @@ opt-bench:
 	PYTHONPATH=src $(PYTHON) -m repro.cli opt-bench --profile quick \
 	  --jobs $${REPRO_JOBS:-1} --emit-json $(OPT_BENCH_DIR)
 
+# Same workload as the checked-in baseline (1500 entries x 1 KiB), so
+# the default_total_s comparison is apples-to-apples.
+store-bench:
+	PYTHONPATH=src $(PYTHON) -m repro.cli store-bench \
+	  --emit-json $(STORE_BENCH_DIR)
+	$(PYTHON) scripts/check_bench_regression.py \
+	  $(STORE_BASELINE) $(STORE_BENCH_DIR)/BENCH_store.json \
+	  --threshold 0.25 --metric default_total_s
+
 # The regression gate compares against this artifact's meta block, so it
 # must come from a cache-less run (--no-resume) to carry fresh timings.
 refresh-baseline:
@@ -73,6 +93,13 @@ refresh-baseline:
 	cp $(BASELINE_DIR)/BENCH_table2.json benchmarks/baselines/table2_quick.json
 	rm -rf $(BASELINE_DIR)
 	@echo "baseline updated: review 'git diff benchmarks/baselines' and commit"
+
+refresh-store-baseline:
+	rm -rf $(BASELINE_DIR)
+	PYTHONPATH=src $(PYTHON) -m repro.cli store-bench --emit-json $(BASELINE_DIR)
+	cp $(BASELINE_DIR)/BENCH_store.json $(STORE_BASELINE)
+	rm -rf $(BASELINE_DIR)
+	@echo "store baseline updated: review 'git diff benchmarks/baselines' and commit"
 
 lint:
 	$(RUFF) check .

@@ -12,6 +12,8 @@ Subcommands mirror the library's main entry points::
     dynunlock opt s5378                   # netlist-optimization statistics
     dynunlock opt-bench --emit-json out   # opt vs raw attack-pipeline bench
     dynunlock run table2 scaling --jobs 4 # several grids through the runner
+    dynunlock cache stats|gc|prune|migrate  # manage the result store
+    dynunlock store-bench --emit-json out # head-to-head backend benchmark
 
 ``dynunlock matrix`` executes every applicable (attack, defense) pair
 from the plugin registry over the smallest registry benchmarks, prints
@@ -34,6 +36,12 @@ one per CPU core); ``--resume`` (default) memoises finished cells in
 stale cells -- pass ``--no-resume`` to force recomputation; and
 ``--emit-json DIR`` writes ``BENCH_<experiment>.json`` + ``.csv``
 artifacts that CI uploads and diffs against the checked-in baseline.
+
+The result store is pluggable: ``--cache-backend json|sharded|sqlite``
+(or ``$REPRO_CACHE_BACKEND``) selects the backend on every grid/fuzz
+command, ``dynunlock cache`` inspects, garbage-collects, prunes, and
+migrates caches, and ``dynunlock store-bench`` measures the backends
+head-to-head (see ``docs/caching.md``).
 """
 
 from __future__ import annotations
@@ -55,7 +63,13 @@ from repro.reports.profiles import PROFILES, active_profile
 from repro.reports.tables import render_table
 from repro.runner.artifacts import write_artifact
 from repro.runner.spec import code_version
-from repro.runner.store import ResultStore
+from repro.runner.stores import (
+    BACKENDS,
+    StoreBackend,
+    migrate,
+    open_store,
+    resolve_backend,
+)
 
 
 def _progress(message: str) -> None:
@@ -73,10 +87,16 @@ def _jobs_from_args(args: argparse.Namespace) -> int:
     return max(1, os.cpu_count() or 1) if jobs == 0 else max(1, jobs)
 
 
-def _store_from_args(args: argparse.Namespace) -> ResultStore | None:
+def _store_from_args(args: argparse.Namespace) -> StoreBackend | None:
     if not getattr(args, "resume", True):
         return None
-    return ResultStore(getattr(args, "cache_dir", None))
+    try:
+        return open_store(
+            getattr(args, "cache_dir", None),
+            backend=getattr(args, "cache_backend", None),
+        )
+    except ValueError as exc:  # a bad $REPRO_CACHE_BACKEND value
+        raise SystemExit(f"dynunlock: {exc}")
 
 
 def _emit_artifact(
@@ -656,6 +676,136 @@ def cmd_opt_bench(args: argparse.Namespace) -> int:
     return 1 if (regressed or outcome_mismatches) else 0
 
 
+def _parse_size(text: str) -> int:
+    """Parse a byte count with optional K/M/G/T suffix (binary units)."""
+    units = {"k": 1 << 10, "m": 1 << 20, "g": 1 << 30, "t": 1 << 40}
+    cleaned = text.strip().lower().removesuffix("b")
+    factor = 1
+    if cleaned and cleaned[-1] in units:
+        factor = units[cleaned[-1]]
+        cleaned = cleaned[:-1]
+    try:
+        value = int(float(cleaned) * factor)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not a size: {text!r}")
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"size must be >= 0: {text!r}")
+    return value
+
+
+def _open_cache(args: argparse.Namespace) -> StoreBackend:
+    try:
+        return open_store(args.cache_dir, backend=args.cache_backend)
+    except ValueError as exc:
+        raise SystemExit(f"dynunlock: {exc}")
+
+
+def cmd_cache_stats(args: argparse.Namespace) -> int:
+    """``dynunlock cache stats``: describe the result store."""
+    import json as json_mod
+
+    with _open_cache(args) as store:
+        stats = store.stats()
+    if args.json:
+        print(json_mod.dumps(stats, indent=1, sort_keys=True))
+        return 0
+    for key in sorted(stats):
+        value = stats[key]
+        if isinstance(value, (list, dict)):
+            value = json_mod.dumps(value, sort_keys=True)
+        print(f"{key:14}: {value}")
+    return 0
+
+
+def cmd_cache_gc(args: argparse.Namespace) -> int:
+    """``dynunlock cache gc``: LRU-evict down to a size bound."""
+    with _open_cache(args) as store:
+        report = store.gc(args.max_bytes, dry_run=args.dry_run)
+    print(f"  [=] {report.summary()}", file=sys.stderr)
+    if args.verbose:
+        for experiment, key in report.evicted:
+            print(f"  [-] {experiment}/{key}", file=sys.stderr)
+    return 0
+
+
+def cmd_cache_prune(args: argparse.Namespace) -> int:
+    """``dynunlock cache prune``: drop entries from other code versions."""
+    with _open_cache(args) as store:
+        removed = store.prune()
+    print(f"  [=] pruned {removed} stale unit(s)", file=sys.stderr)
+    return 0
+
+
+def cmd_cache_migrate(args: argparse.Namespace) -> int:
+    """``dynunlock cache migrate``: copy a cache into another backend.
+
+    Entries move byte-for-byte (mtimes included, so LRU order
+    survives).  Only the current code version's entries migrate --
+    foreign versions are exactly what ``cache prune`` deletes.
+    """
+    source_backend = resolve_backend(args.cache_backend)
+    dest_dir = args.to_dir if args.to_dir is not None else args.cache_dir
+    same_dir = (dest_dir or "") == (args.cache_dir or "")
+    if args.to == source_backend and same_dir:
+        print(
+            "dynunlock: refusing to migrate a store onto itself "
+            f"(backend {args.to!r}, same directory); pass --to-dir",
+            file=sys.stderr,
+        )
+        return 2
+    with _open_cache(args) as source:
+        with open_store(dest_dir, backend=args.to) as dest:
+            copied = migrate(source, dest)
+    print(
+        f"  [=] migrated {copied} entr{'y' if copied == 1 else 'ies'} "
+        f"{source_backend} -> {args.to}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def cmd_store_bench(args: argparse.Namespace) -> int:
+    """``dynunlock store-bench``: head-to-head backend benchmark.
+
+    Pushes one deterministic synthetic workload through every backend
+    and reports put/get/iterate timings plus on-disk size; with
+    ``--emit-json`` the ``BENCH_store.json`` meta block carries
+    ``default_total_s``, the metric CI gates against the checked-in
+    baseline.
+    """
+    import tempfile
+    from pathlib import Path
+
+    from repro.runner.stores.bench import run_store_bench
+
+    def bench_in(workdir: Path):
+        return run_store_bench(
+            workdir,
+            entries=args.entries,
+            payload_bytes=args.payload_bytes,
+            seed=args.seed,
+            backends=args.backends or None,
+        )
+
+    if args.workdir:
+        headers, rows, meta = bench_in(Path(args.workdir))
+    else:
+        with tempfile.TemporaryDirectory(prefix="storebench-") as scratch:
+            headers, rows, meta = bench_in(Path(scratch))
+    title = (
+        f"Result-store head-to-head "
+        f"({args.entries} entries x {args.payload_bytes}B payloads)"
+    )
+    print(render_table(headers, rows, title=title))
+    if args.emit_json:
+        meta["code_version"] = code_version()[:20]
+        path = write_artifact(
+            args.emit_json, "store", headers, rows, title=title, meta=meta
+        )
+        print(f"  [=] wrote {path}", file=sys.stderr)
+    return 0
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     """``dynunlock run``: push one or more experiment grids through the runner."""
     names = list(GRID) if "all" in args.experiments else args.experiments
@@ -713,6 +863,11 @@ def build_parser() -> argparse.ArgumentParser:
             "--cache-dir", default=None, metavar="DIR",
             help="result store location (default: $REPRO_CACHE_DIR "
                  "or .repro_cache)",
+        )
+        p.add_argument(
+            "--cache-backend", choices=sorted(BACKENDS), default=None,
+            help="result store backend (default: $REPRO_CACHE_BACKEND "
+                 "or json; see docs/caching.md)",
         )
         p.add_argument(
             "--emit-json", default=None, metavar="DIR",
@@ -878,6 +1033,85 @@ def build_parser() -> argparse.ArgumentParser:
         help="print each entry's detail and trial params",
     )
     p.set_defaults(func=cmd_fuzz_replay)
+
+    p = sub.add_parser(
+        "cache", help="inspect and manage the result store"
+    )
+    cache_sub = p.add_subparsers(dest="cache_command", required=True)
+
+    def add_cache_args(cp: argparse.ArgumentParser) -> None:
+        cp.add_argument(
+            "--cache-dir", default=None, metavar="DIR",
+            help="result store location (default: $REPRO_CACHE_DIR "
+                 "or .repro_cache)",
+        )
+        cp.add_argument(
+            "--cache-backend", choices=sorted(BACKENDS), default=None,
+            help="result store backend (default: $REPRO_CACHE_BACKEND "
+                 "or json)",
+        )
+
+    cp = cache_sub.add_parser("stats", help="describe the store's contents")
+    add_cache_args(cp)
+    cp.add_argument("--json", action="store_true",
+                    help="emit the stats block as JSON")
+    cp.set_defaults(func=cmd_cache_stats)
+
+    cp = cache_sub.add_parser(
+        "gc", help="evict oldest entries down to a size bound"
+    )
+    add_cache_args(cp)
+    cp.add_argument(
+        "--max-bytes", type=_parse_size, required=True, metavar="SIZE",
+        help="size bound for the current version's entries "
+             "(suffixes K/M/G/T accepted, e.g. 500M)",
+    )
+    cp.add_argument("--dry-run", action="store_true",
+                    help="report what would be evicted without deleting")
+    cp.add_argument("-v", "--verbose", action="store_true",
+                    help="list each evicted entry")
+    cp.set_defaults(func=cmd_cache_gc)
+
+    cp = cache_sub.add_parser(
+        "prune", help="drop entries from other code versions"
+    )
+    add_cache_args(cp)
+    cp.set_defaults(func=cmd_cache_prune)
+
+    cp = cache_sub.add_parser(
+        "migrate", help="copy the cache into another backend byte-for-byte"
+    )
+    add_cache_args(cp)
+    cp.add_argument(
+        "--to", choices=sorted(BACKENDS), required=True,
+        help="destination backend",
+    )
+    cp.add_argument(
+        "--to-dir", default=None, metavar="DIR",
+        help="destination store location (default: the source --cache-dir)",
+    )
+    cp.set_defaults(func=cmd_cache_migrate)
+
+    p = sub.add_parser(
+        "store-bench",
+        help="head-to-head result-store backend benchmark",
+    )
+    p.add_argument("--entries", type=int, default=1500, metavar="N",
+                   help="synthetic cells per backend (default 1500)")
+    p.add_argument("--payload-bytes", type=int, default=1024, metavar="B",
+                   help="approximate payload size per cell (default 1024)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="workload seed (same seed => same bytes)")
+    p.add_argument(
+        "--backends", nargs="*", choices=sorted(BACKENDS), default=[],
+        help="restrict the comparison (default: all backends)",
+    )
+    p.add_argument("--workdir", default=None, metavar="DIR",
+                   help="keep the benchmark stores here instead of a "
+                        "throwaway temp dir")
+    p.add_argument("--emit-json", default=None, metavar="DIR",
+                   help="write BENCH_store.json + .csv artifacts to DIR")
+    p.set_defaults(func=cmd_store_bench)
 
     p = sub.add_parser(
         "run", help="run experiment grids through the parallel runner"

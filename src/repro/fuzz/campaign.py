@@ -390,7 +390,7 @@ def _collect_violations(
     mask a JSON-encoding instability.
     """
     from repro.reports.cells import run_cell
-    from repro.runner.store import ResultStore
+    from repro.runner.stores import open_store
 
     for outcome in report.outcomes:
         trial = dict(outcome.spec.params)
@@ -456,13 +456,15 @@ def _collect_violations(
                 continue
             # Store round-trip: byte-stability of the JSON encoding,
             # checked against an isolated throwaway store so the
-            # campaign's own resume state cannot mask a mismatch.
+            # campaign's own resume state cannot mask a mismatch.  The
+            # probe honours REPRO_CACHE_BACKEND, so a campaign run on
+            # the sqlite backend also fuzzes the sqlite round-trip.
             import tempfile
 
             with tempfile.TemporaryDirectory() as scratch:
-                probe = ResultStore(scratch, version="fuzzprobe")
-                probe.put(outcome.spec, fresh)
-                replayed = probe.get(outcome.spec)
+                with open_store(scratch, version="fuzzprobe") as probe:
+                    probe.put(outcome.spec, fresh)
+                    replayed = probe.get(outcome.spec)
             if _canonical(replayed) != _canonical(fresh):
                 report.violations.append(
                     {

@@ -8,7 +8,8 @@ nondeterminism.  Features:
 
 * ``jobs=1`` runs serially in-process (no pickling, easy debugging);
   ``jobs>1`` uses a :class:`~concurrent.futures.ProcessPoolExecutor`.
-* A :class:`~repro.runner.store.ResultStore` short-circuits cells whose
+* A result store (any :class:`~repro.runner.stores.StoreBackend` --
+  JSON, sharded, or SQLite) short-circuits cells whose
   (spec hash, code version) pair is already on disk, and absorbs every
   freshly computed cell -- an interrupted grid resumes where it stopped.
 * Per-job ``timeout_s`` (enforced by an interval timer inside the
@@ -33,7 +34,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 from repro.runner.spec import JobSpec
-from repro.runner.store import ResultStore
+from repro.runner.stores import StoreBackend
 from repro.runner.worker import execute_job
 
 ProgressFn = Callable[["JobOutcome"], None]
@@ -115,7 +116,7 @@ def run_jobs(
     specs: Sequence[JobSpec],
     *,
     jobs: int = 1,
-    store: ResultStore | None = None,
+    store: StoreBackend | None = None,
     timeout_s: float | None = None,
     retries: int = 0,
     progress: ProgressFn | None = None,
@@ -150,7 +151,7 @@ def _finish(
     report: RunReport,
     index: int,
     payload: dict,
-    store: ResultStore | None,
+    store: StoreBackend | None,
     progress: ProgressFn | None,
 ) -> None:
     outcome = report.outcomes[index]
@@ -175,7 +176,7 @@ def _fail(
 def _run_serial(
     report: RunReport,
     pending: Sequence[int],
-    store: ResultStore | None,
+    store: StoreBackend | None,
     timeout_s: float | None,
     retries: int,
     progress: ProgressFn | None,
@@ -201,7 +202,7 @@ def _run_parallel(
     report: RunReport,
     pending: Sequence[int],
     jobs: int,
-    store: ResultStore | None,
+    store: StoreBackend | None,
     timeout_s: float | None,
     retries: int,
     progress: ProgressFn | None,

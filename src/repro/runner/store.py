@@ -1,111 +1,33 @@
-"""On-disk memoisation of finished experiment cells.
+"""Backwards-compatible facade over :mod:`repro.runner.stores`.
 
-Layout: ``<root>/<code-version>/<experiment>/<spec-hash>.json``, one
-file per cell, written atomically (temp file + rename) so an interrupted
-run never leaves a torn entry behind.  Each file stores the spec's
-canonical JSON next to the result, and :meth:`ResultStore.get` verifies
-it against the requesting spec -- a hash collision or a hand-edited file
-degrades to a cache miss, never to a wrong row.
-
-The version directory defaults to :func:`~repro.runner.spec.code_version`,
-so editing any source file under ``src/repro`` silently orphans stale
-entries; profile or parameter changes land in a different spec hash.
-Stale version directories are plain directories -- delete them (or run
-``ResultStore.prune()``) to reclaim space.
+The store grew into a multi-backend package (per-file JSON, sharded
+JSON, compressed SQLite -- see ``docs/caching.md``); this module keeps
+the original import surface alive.  ``ResultStore`` is the default
+per-file JSON backend, byte-compatible with every cache tree written
+before the split.  New code should import from
+:mod:`repro.runner.stores` directly.
 """
 
 from __future__ import annotations
 
-import json
-import os
-import tempfile
-from pathlib import Path
+from repro.runner.stores import (
+    BACKENDS,
+    DEFAULT_CACHE_DIR,
+    ResultStore,
+    StoreBackend,
+    default_cache_dir,
+    migrate,
+    open_store,
+    resolve_backend,
+)
 
-from repro.runner.spec import JobSpec, code_version
-
-DEFAULT_CACHE_DIR = ".repro_cache"
-
-
-def default_cache_dir() -> Path:
-    """Cache root: ``$REPRO_CACHE_DIR`` or ``.repro_cache`` in the cwd."""
-    return Path(os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR))
-
-
-class ResultStore:
-    """Content-addressed JSON store for one code version's cell results."""
-
-    def __init__(self, root: str | Path | None = None, *, version: str | None = None):
-        self.root = Path(root) if root is not None else default_cache_dir()
-        self.version = (version if version is not None else code_version())[:20]
-
-    def path_for(self, spec: JobSpec) -> Path:
-        """File that does (or would) hold ``spec``'s cached result."""
-        name = f"{spec.spec_hash[:32]}.json"
-        return self.root / self.version / spec.experiment / name
-
-    def get(self, spec: JobSpec) -> dict | None:
-        """Return the cached result dict, or ``None`` on any kind of miss."""
-        path = self.path_for(spec)
-        try:
-            entry = json.loads(path.read_text())
-        except (OSError, ValueError):
-            return None
-        if not isinstance(entry, dict):
-            return None
-        if entry.get("spec") != spec.canonical():
-            return None
-        result = entry.get("result")
-        return result if isinstance(result, dict) else None
-
-    def put(self, spec: JobSpec, result: dict, *, duration_s: float | None = None):
-        """Atomically persist ``result`` for ``spec``."""
-        path = self.path_for(spec)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        entry = {
-            "spec": spec.canonical(),
-            "label": spec.label,
-            "duration_s": duration_s,
-            "result": result,
-        }
-        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w") as handle:
-                json.dump(entry, handle, indent=1, sort_keys=True)
-            os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
-
-    def invalidate(self, spec: JobSpec) -> bool:
-        """Drop one cached cell; returns whether an entry existed."""
-        try:
-            self.path_for(spec).unlink()
-            return True
-        except OSError:
-            return False
-
-    def prune(self) -> int:
-        """Delete entries from *other* code versions; returns files removed."""
-        removed = 0
-        if not self.root.is_dir():
-            return removed
-        for version_dir in self.root.iterdir():
-            if not version_dir.is_dir() or version_dir.name == self.version:
-                continue
-            for path in sorted(version_dir.rglob("*"), reverse=True):
-                if path.is_file():
-                    path.unlink()
-                    removed += 1
-                else:
-                    path.rmdir()
-            version_dir.rmdir()
-        return removed
-
-    def __len__(self) -> int:
-        version_dir = self.root / self.version
-        if not version_dir.is_dir():
-            return 0
-        return sum(1 for _ in version_dir.rglob("*.json"))
+__all__ = [
+    "BACKENDS",
+    "DEFAULT_CACHE_DIR",
+    "ResultStore",
+    "StoreBackend",
+    "default_cache_dir",
+    "migrate",
+    "open_store",
+    "resolve_backend",
+]

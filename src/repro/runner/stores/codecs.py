@@ -1,0 +1,73 @@
+"""Per-entry payload compression for the binary store backends.
+
+Every compressed backend records the codec *per row*, so a cache
+written by a process that had ``zstandard`` importable reads back
+correctly in one that does not (zstd rows simply degrade to misses
+there, zlib/raw rows keep working).  The stdlib ``zlib`` codec is the
+floor every interpreter can decode; ``zstd`` is used opportunistically
+when the optional ``zstandard`` package is importable -- never a hard
+dependency.
+
+Codec names are part of the on-disk format: add new ones, never rename.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+try:  # optional accelerator -- the container may not ship it
+    import zstandard
+except ImportError:  # pragma: no cover - exercised via monkeypatching
+    zstandard = None
+
+#: Codec names accepted by :func:`encode_blob` / :func:`decode_blob`.
+KNOWN_CODECS = ("raw", "zlib", "zstd")
+
+_ZLIB_LEVEL = 6
+
+
+class CodecError(ValueError):
+    """A blob could not be encoded or decoded (bad codec or bad bytes)."""
+
+
+def zstd_available() -> bool:
+    """Whether the optional ``zstandard`` package imported successfully."""
+    return zstandard is not None
+
+
+def preferred_codec() -> str:
+    """Best codec this interpreter can both write and read back."""
+    return "zstd" if zstd_available() else "zlib"
+
+
+def encode_blob(raw: bytes, codec: str | None = None) -> tuple[str, bytes]:
+    """Compress ``raw``; returns ``(codec_name, blob)`` for the row."""
+    codec = codec or preferred_codec()
+    if codec == "raw":
+        return "raw", bytes(raw)
+    if codec == "zlib":
+        return "zlib", zlib.compress(raw, _ZLIB_LEVEL)
+    if codec == "zstd":
+        if not zstd_available():
+            raise CodecError("codec 'zstd' requested but zstandard is not importable")
+        return "zstd", zstandard.ZstdCompressor().compress(raw)
+    raise CodecError(f"unknown codec {codec!r}; known: {', '.join(KNOWN_CODECS)}")
+
+
+def decode_blob(codec: str, blob: bytes) -> bytes:
+    """Inverse of :func:`encode_blob`; raises :class:`CodecError` on rot."""
+    if codec == "raw":
+        return bytes(blob)
+    if codec == "zlib":
+        try:
+            return zlib.decompress(blob)
+        except zlib.error as exc:
+            raise CodecError(f"zlib payload is corrupt: {exc}") from exc
+    if codec == "zstd":
+        if not zstd_available():
+            raise CodecError("row is zstd-compressed but zstandard is not importable")
+        try:
+            return zstandard.ZstdDecompressor().decompress(blob)
+        except zstandard.ZstdError as exc:
+            raise CodecError(f"zstd payload is corrupt: {exc}") from exc
+    raise CodecError(f"unknown codec {codec!r}; known: {', '.join(KNOWN_CODECS)}")

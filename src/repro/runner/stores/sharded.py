@@ -1,0 +1,35 @@
+"""Sharded-directory JSON backend: two-level hash fan-out.
+
+Layout: ``<root>/<version>/<experiment>/<k[:2]>/<k[2:4]>/<k>.json``
+where ``k`` is the 32-hex-char entry key.  The two shard levels give
+256 x 256 = 65536 leaf directories per experiment, so a million-entry
+sweep puts ~15 files in each instead of a million in one -- directory
+operations (create, list, fsync-on-rename) stay O(1) as the cache
+grows, which is the entire difference from the flat
+:class:`~repro.runner.stores.json_file.JsonFileStore`.
+
+Entry bytes, atomic-rename writes, GC, and prune semantics are all
+inherited unchanged; only the path function differs.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.runner.stores.json_file import JsonFileStore
+
+
+class ShardedJsonStore(JsonFileStore):
+    """Hash-fanned-out variant of the per-file JSON store."""
+
+    name = "sharded"
+
+    def _path(self, experiment: str, key: str) -> Path:
+        return (
+            self.root
+            / self.version
+            / experiment
+            / key[:2]
+            / key[2:4]
+            / f"{key}{self.suffix}"
+        )
