@@ -28,6 +28,9 @@
 #                           the diff and commit it to bless the new budget
 #   make refresh-store-baseline - same blessing dance for the store bench
 #                           baseline (benchmarks/baselines/store_quick.json)
+#   make docs             - regenerate docs/cli.md from the live argparse
+#                           tree (scripts/gen_cli_docs.py); CI's docs-drift
+#                           job fails when the committed file differs
 #   make lint             - ruff check (whole repo) + ruff format --check (runner)
 #
 # REPRO_PROFILE=quick|full|paper scales the bench instances (default quick).
@@ -44,7 +47,7 @@ STORE_BENCH_DIR ?= results
 STORE_BASELINE = benchmarks/baselines/store_quick.json
 
 .PHONY: verify bench test-all coverage matrix fuzz opt-bench store-bench \
-  refresh-baseline refresh-store-baseline lint
+  refresh-baseline refresh-store-baseline docs lint
 
 verify:
 	$(PYTEST) -x -q
@@ -100,6 +103,9 @@ refresh-store-baseline:
 	cp $(BASELINE_DIR)/BENCH_store.json $(STORE_BASELINE)
 	rm -rf $(BASELINE_DIR)
 	@echo "store baseline updated: review 'git diff benchmarks/baselines' and commit"
+
+docs:
+	PYTHONPATH=src $(PYTHON) scripts/gen_cli_docs.py docs/cli.md
 
 lint:
 	$(RUFF) check .

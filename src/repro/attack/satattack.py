@@ -31,6 +31,7 @@ from dataclasses import dataclass, field, replace
 from typing import Callable, Sequence
 
 from repro.netlist.netlist import Netlist
+from repro.observability import spans as obs
 from repro.opt import OptResult, optimize, resolve_level
 from repro.sat.enumerate import enumerate_models
 from repro.sat.incremental import IncrementalSolver
@@ -140,11 +141,12 @@ class SatAttack:
 
         # Compile the locked circuit's Tseitin template once; every miter
         # copy and every per-DIP constraint copy stamps from it.
-        self._template = encoding_for(locked)
-        self.encoder = CircuitEncoder()
-        self.solver = IncrementalSolver()
-        self._copy_count = 0
-        self._build_miter()
+        with obs.phase("encode"):
+            self._template = encoding_for(locked)
+            self.encoder = CircuitEncoder()
+            self.solver = IncrementalSolver()
+            self._copy_count = 0
+            self._build_miter()
         # Seed information carried over from earlier attack rounds (the
         # paper's restart step) enters as unit clauses on both key copies.
         if fixed_key_bits:
@@ -317,6 +319,17 @@ class SatAttack:
                     fixed[index] = key_candidates[0][index]
 
         watch.stop()
+        if obs.active():
+            # Map stopwatch laps onto the span phase catalogue
+            # (docs/observability.md); a single dict merge per attack,
+            # nothing on the per-DIP path.
+            obs.add_phase("solve", watch.laps.get("solve_dip", 0.0))
+            obs.add_phase("oracle", watch.laps.get("oracle", 0.0))
+            obs.add_phase("encode", watch.laps.get("constrain", 0.0))
+            obs.add_phase("enumerate", watch.laps.get("enumerate", 0.0))
+            obs.incr("dips", iteration)
+            obs.incr("oracle_queries", iteration)
+            obs.incr("key_candidates", len(key_candidates))
         return SatAttackResult(
             converged=converged,
             iterations=iteration,

@@ -14,6 +14,7 @@ Subcommands mirror the library's main entry points::
     dynunlock run table2 scaling --jobs 4 # several grids through the runner
     dynunlock cache stats|gc|prune|migrate  # manage the result store
     dynunlock store-bench --emit-json out # head-to-head backend benchmark
+    dynunlock top results/metrics         # live view over a run's metrics
 
 ``dynunlock matrix`` executes every applicable (attack, defense) pair
 from the plugin registry over the smallest registry benchmarks, prints
@@ -42,6 +43,15 @@ The result store is pluggable: ``--cache-backend json|sharded|sqlite``
 command, ``dynunlock cache`` inspects, garbage-collects, prunes, and
 migrates caches, and ``dynunlock store-bench`` measures the backends
 head-to-head (see ``docs/caching.md``).
+
+Observability (``docs/observability.md``): every grid/attack/fuzz
+command accepts ``--metrics-dir DIR`` (per-job spans, a Prometheus
+``metrics.prom``, and a ``BENCH_obs.json`` summary land in DIR;
+``$REPRO_METRICS_DIR`` sets a default) and ``--log-json PATH``
+(structured JSON event log; ``-`` for stderr).  ``dynunlock top DIR``
+renders a live ``top(1)``-style view over a running or finished
+instrumented run.  With neither flag, instrumentation is fully off:
+no spans are collected, and results/cache bytes are identical.
 """
 
 from __future__ import annotations
@@ -50,6 +60,7 @@ import argparse
 import os
 import random
 import sys
+from contextlib import contextmanager
 
 from repro.bench_suite.registry import (
     PAPER_BENCHMARKS,
@@ -85,6 +96,36 @@ def _profile_from_args(args: argparse.Namespace):
 def _jobs_from_args(args: argparse.Namespace) -> int:
     jobs = getattr(args, "jobs", 1)
     return max(1, os.cpu_count() or 1) if jobs == 0 else max(1, jobs)
+
+
+@contextmanager
+def _observation(args: argparse.Namespace, command: str, existing=None):
+    """Yield a RunObserver for this invocation, or ``None`` when off.
+
+    One observability session spans the whole command; passing an
+    ``existing`` observer (``dynunlock run`` driving several grids)
+    reuses it instead of opening a nested session.  Without
+    ``--metrics-dir``/``$REPRO_METRICS_DIR``/``--log-json`` this yields
+    ``None`` and touches nothing -- the zero-cost-by-default path.
+    """
+    metrics_dir = getattr(args, "metrics_dir", None) or os.environ.get(
+        "REPRO_METRICS_DIR"
+    )
+    log_json = getattr(args, "log_json", None)
+    if existing is not None or (not metrics_dir and not log_json):
+        yield existing
+        return
+    from repro.observability import RunObserver, end_session, start_session
+
+    session = start_session(
+        metrics_dir=metrics_dir, log_json=log_json, command=command
+    )
+    try:
+        yield RunObserver(session)
+    finally:
+        end_session()
+        if metrics_dir:
+            print(f"  [=] wrote metrics to {metrics_dir}", file=sys.stderr)
 
 
 def _store_from_args(args: argparse.Namespace) -> StoreBackend | None:
@@ -140,33 +181,43 @@ def _emit_artifact(
     print(f"  [=] wrote {path}", file=sys.stderr)
 
 
-def _run_experiment(args: argparse.Namespace, name: str, **spec_kwargs) -> int:
+def _run_experiment(
+    args: argparse.Namespace, name: str, observer=None, **spec_kwargs
+) -> int:
     """Run one named grid through the scheduler and print/emit its table."""
     experiment = GRID[name]
     profile = _profile_from_args(args)
     opt_level = getattr(args, "opt_level", None)
     if opt_level is not None:
         spec_kwargs["opt_level"] = opt_level
-    rows, report = run_grid_experiment(
-        name,
-        profile,
-        _progress,
-        jobs=_jobs_from_args(args),
-        store=_store_from_args(args),
-        **spec_kwargs,
-    )
-    title = f"{experiment.title} (profile={profile.name})"
-    print(render_table(experiment.headers, [r.as_cells() for r in rows], title=title))
-    print(f"  [=] {report.summary()}", file=sys.stderr)
-    _emit_artifact(
-        args,
-        name,
-        experiment.headers,
-        [r.as_cells() for r in rows],
-        title=title,
-        profile_name=profile.name,
-        report=report,
-    )
+    with _observation(args, name, observer) as obs:
+        rows, report = run_grid_experiment(
+            name,
+            profile,
+            _progress,
+            jobs=_jobs_from_args(args),
+            store=_store_from_args(args),
+            observer=obs,
+            **spec_kwargs,
+        )
+        # Emit inside the observation so the artifact's run block shares
+        # the session's run_id with the logs/spans it was measured under.
+        title = f"{experiment.title} (profile={profile.name})"
+        print(
+            render_table(
+                experiment.headers, [r.as_cells() for r in rows], title=title
+            )
+        )
+        print(f"  [=] {report.summary()}", file=sys.stderr)
+        _emit_artifact(
+            args,
+            name,
+            experiment.headers,
+            [r.as_cells() for r in rows],
+            title=title,
+            profile_name=profile.name,
+            report=report,
+        )
     return 0
 
 
@@ -216,15 +267,28 @@ def cmd_attack(args: argparse.Namespace) -> int:
         f"{key_bits}-bit dynamic key",
         file=sys.stderr,
     )
-    result = dynunlock(
-        netlist,
-        lock.public_view(),
-        lock.make_oracle(),
-        DynUnlockConfig(
-            timeout_s=args.timeout or profile.timeout_s,
-            opt_level=args.opt_level,
-        ),
+    config = DynUnlockConfig(
+        timeout_s=args.timeout or profile.timeout_s,
+        opt_level=args.opt_level,
     )
+    with _observation(args, "attack") as observer:
+        if observer is None:
+            result = dynunlock(netlist, lock.public_view(), lock.make_oracle(), config)
+        else:
+            # No scheduler here: open the span in-process so the attack's
+            # phase instrumentation has a collection target.
+            from repro.observability import begin_job_span, end_job_span
+
+            span = begin_job_span(
+                "attack", f"attack[benchmark={args.benchmark},key_bits={key_bits}]"
+            )
+            try:
+                result = dynunlock(
+                    netlist, lock.public_view(), lock.make_oracle(), config
+                )
+            finally:
+                span_record = end_job_span(span)
+            observer.inline_span(span_record)
     exact = result.recovered_seed == list(lock.seed)
     print(f"success          : {result.success}")
     print(f"exact seed       : {exact}")
@@ -323,38 +387,40 @@ def cmd_matrix(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    rows, report = run_matrix(
-        profile,
-        _progress,
-        jobs=_jobs_from_args(args),
-        store=_store_from_args(args),
-        attacks=attacks,
-        defenses=defenses,
-        benchmarks=args.benchmarks or None,
-        opt_level=args.opt_level,
-    )
-    title = f"Attack x defense resilience matrix (profile={profile.name})"
-    headers = GRID["matrix"].headers
-    print(render_table(headers, [r.as_cells() for r in rows], title=title))
-    print(f"  [=] {report.summary()}", file=sys.stderr)
+    with _observation(args, "matrix") as observer:
+        rows, report = run_matrix(
+            profile,
+            _progress,
+            jobs=_jobs_from_args(args),
+            store=_store_from_args(args),
+            attacks=attacks,
+            defenses=defenses,
+            benchmarks=args.benchmarks or None,
+            opt_level=args.opt_level,
+            observer=observer,
+        )
+        title = f"Attack x defense resilience matrix (profile={profile.name})"
+        headers = GRID["matrix"].headers
+        print(render_table(headers, [r.as_cells() for r in rows], title=title))
+        print(f"  [=] {report.summary()}", file=sys.stderr)
 
-    mismatches = check_against_paper(rows) if args.check_paper else []
-    _emit_artifact(
-        args,
-        "matrix",
-        headers,
-        [r.as_cells() for r in rows],
-        title=title,
-        profile_name=profile.name,
-        report=report,
-        extra_meta={
-            "verdicts": {f"{r.attack}|{r.defense}": r.verdict for r in rows},
-            # None (not 0) when the check was disabled, so artifact
-            # consumers can tell "clean" from "never ran".
-            "paper_checked": bool(args.check_paper),
-            "n_paper_mismatches": len(mismatches) if args.check_paper else None,
-        },
-    )
+        mismatches = check_against_paper(rows) if args.check_paper else []
+        _emit_artifact(
+            args,
+            "matrix",
+            headers,
+            [r.as_cells() for r in rows],
+            title=title,
+            profile_name=profile.name,
+            report=report,
+            extra_meta={
+                "verdicts": {f"{r.attack}|{r.defense}": r.verdict for r in rows},
+                # None (not 0) when the check was disabled, so artifact
+                # consumers can tell "clean" from "never ran".
+                "paper_checked": bool(args.check_paper),
+                "n_paper_mismatches": len(mismatches) if args.check_paper else None,
+            },
+        )
     for mismatch in mismatches:
         print(f"  [!] paper disagreement: {mismatch}", file=sys.stderr)
     if mismatches:
@@ -375,49 +441,63 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     from repro.fuzz.campaign import FUZZ_HEADERS, campaign_rows, run_campaign
 
     profile = _profile_from_args(args)
-    report = run_campaign(
-        profile,
-        trials=args.trials,
-        seed=args.seed,
-        jobs=_jobs_from_args(args),
-        store=_store_from_args(args),
-        time_budget_s=args.time_budget,
-        corpus_dir=args.corpus,
-        progress=_progress,
-        shrink_limit=args.shrink_limit,
-        opt_level=args.opt_level,
-    )
-    title = (
-        f"Differential fuzz campaign (seed={args.seed}, "
-        f"profile={profile.name})"
-    )
-    rows = campaign_rows(report)
-    print(render_table(FUZZ_HEADERS, rows, title=title))
-    print(f"  [=] {report.summary()}", file=sys.stderr)
-    for violation in report.violations:
-        where = violation.get("corpus_path")
-        suffix = f" -> {where}" if where else ""
-        print(
-            f"  [!] trial {violation['index']} violated "
-            f"{violation['invariant']}: {violation['detail']}{suffix}",
-            file=sys.stderr,
+    with _observation(args, "fuzz") as observer:
+        report = run_campaign(
+            profile,
+            trials=args.trials,
+            seed=args.seed,
+            jobs=_jobs_from_args(args),
+            store=_store_from_args(args),
+            time_budget_s=args.time_budget,
+            corpus_dir=args.corpus,
+            progress=_progress,
+            shrink_limit=args.shrink_limit,
+            opt_level=args.opt_level,
+            observer=observer,
         )
-    _emit_artifact(
-        args,
-        "fuzz",
-        FUZZ_HEADERS,
-        rows,
-        title=title,
-        profile_name=profile.name,
-        report=_FuzzArtifactReport(report),
-        extra_meta={
-            "campaign_seed": args.seed,
-            "n_trials": report.n_trials,
-            "n_not_run": report.n_not_run,
-            "n_unbuildable": report.n_skipped_builds,
-            "violations": report.violations,
-        },
-    )
+        if observer is not None:
+            # Campaign-level outcomes the per-trial spans cannot see.
+            counters = observer.session.metrics
+            counters.counter(
+                "repro_fuzz_trials_total", "Fuzz trials by disposition"
+            ).inc(len(report.outcomes), disposition="ran")
+            counters.counter(
+                "repro_fuzz_trials_total", "Fuzz trials by disposition"
+            ).inc(report.n_not_run, disposition="not_run")
+            counters.counter(
+                "repro_fuzz_violations_total", "Invariant violations found"
+            ).inc(len(report.violations))
+        title = (
+            f"Differential fuzz campaign (seed={args.seed}, "
+            f"profile={profile.name})"
+        )
+        rows = campaign_rows(report)
+        print(render_table(FUZZ_HEADERS, rows, title=title))
+        print(f"  [=] {report.summary()}", file=sys.stderr)
+        for violation in report.violations:
+            where = violation.get("corpus_path")
+            suffix = f" -> {where}" if where else ""
+            print(
+                f"  [!] trial {violation['index']} violated "
+                f"{violation['invariant']}: {violation['detail']}{suffix}",
+                file=sys.stderr,
+            )
+        _emit_artifact(
+            args,
+            "fuzz",
+            FUZZ_HEADERS,
+            rows,
+            title=title,
+            profile_name=profile.name,
+            report=_FuzzArtifactReport(report),
+            extra_meta={
+                "campaign_seed": args.seed,
+                "n_trials": report.n_trials,
+                "n_not_run": report.n_not_run,
+                "n_unbuildable": report.n_skipped_builds,
+                "violations": report.violations,
+            },
+        )
     return 0 if report.ok else 1
 
 
@@ -568,14 +648,19 @@ def cmd_opt_bench(args: argparse.Namespace) -> int:
     jobs = _jobs_from_args(args)
 
     reports = {}
-    for label, arm_level in (("no-opt", 0), ("opt", level)):
-        print(f"  [.] running table2 arm: {label}", file=sys.stderr)
-        specs = table2_specs(profile, benchmarks, opt_level=arm_level)
-        report = run_jobs(
-            specs, jobs=jobs, store=None, progress=adapt_progress(_progress)
-        )
-        report.raise_on_error()
-        reports[label] = report
+    with _observation(args, "opt-bench") as observer:
+        for label, arm_level in (("no-opt", 0), ("opt", level)):
+            print(f"  [.] running table2 arm: {label}", file=sys.stderr)
+            specs = table2_specs(profile, benchmarks, opt_level=arm_level)
+            report = run_jobs(
+                specs,
+                jobs=jobs,
+                store=None,
+                progress=adapt_progress(_progress),
+                observer=observer,
+            )
+            report.raise_on_error()
+            reports[label] = report
 
     def by_cell(report):
         return {
@@ -813,14 +898,27 @@ def cmd_run(args: argparse.Namespace) -> int:
     for name in names:
         if name not in seen:
             seen.append(name)
-    for name in seen:
-        kwargs = {}
-        if name in ("table2", "table3") and args.benchmarks:
-            kwargs["benchmarks"] = args.benchmarks
-        code = _run_experiment(args, name, **kwargs)
-        if code != 0:
-            return code
+    # One observability session spans all requested grids; each grid's
+    # spans stay distinguishable by their experiment field.
+    with _observation(args, "run") as observer:
+        for name in seen:
+            kwargs = {}
+            if name in ("table2", "table3") and args.benchmarks:
+                kwargs["benchmarks"] = args.benchmarks
+            code = _run_experiment(args, name, observer=observer, **kwargs)
+            if code != 0:
+                return code
     return 0
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    """``dynunlock top``: live view over a run's metrics directory."""
+    from repro.observability.top import watch
+
+    metrics_dir = args.metrics_dir or os.environ.get(
+        "REPRO_METRICS_DIR", ".repro_metrics"
+    )
+    return watch(metrics_dir, interval=args.interval, once=args.once)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -874,6 +972,19 @@ def build_parser() -> argparse.ArgumentParser:
             help="write BENCH_<experiment>.json + .csv artifacts to DIR",
         )
 
+    def add_obs(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--metrics-dir", default=None, metavar="DIR",
+            help="record per-job spans and metrics into DIR "
+                 "(spans.jsonl, metrics.prom, BENCH_obs.json; default: "
+                 "$REPRO_METRICS_DIR, unset = instrumentation off)",
+        )
+        p.add_argument(
+            "--log-json", default=None, metavar="PATH",
+            help="append structured JSON log events to PATH "
+                 "('-' = stderr; see docs/observability.md)",
+        )
+
     p = sub.add_parser("info", help="show benchmark statistics")
     p.add_argument("benchmark")
     p.add_argument("--scale", type=int, default=16)
@@ -904,6 +1015,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--timeout", type=float, default=None)
     add_profile(p)
     add_opt(p)
+    add_obs(p)
     p.set_defaults(func=cmd_attack)
 
     for name, func, has_benchmarks in [
@@ -919,6 +1031,7 @@ def build_parser() -> argparse.ArgumentParser:
         add_profile(p)
         add_runner(p)
         add_opt(p)
+        add_obs(p)
         p.set_defaults(func=func)
 
     p = sub.add_parser(
@@ -960,6 +1073,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--emit-json", default=None, metavar="DIR",
                    help="write BENCH_opt.json + .csv artifacts to DIR")
     add_profile(p)
+    add_obs(p)
     p.set_defaults(func=cmd_opt_bench)
 
     p = sub.add_parser(
@@ -986,6 +1100,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_profile(p)
     add_runner(p)
     add_opt(p)
+    add_obs(p)
     p.set_defaults(func=cmd_matrix)
 
     p = sub.add_parser(
@@ -1015,6 +1130,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_profile(p)
     add_runner(p)
     add_opt(p)
+    add_obs(p)
     p.set_defaults(func=cmd_fuzz)
 
     p = sub.add_parser(
@@ -1127,7 +1243,26 @@ def build_parser() -> argparse.ArgumentParser:
     add_profile(p)
     add_runner(p)
     add_opt(p)
+    add_obs(p)
     p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser(
+        "top", help="live view over an instrumented run's metrics directory"
+    )
+    p.add_argument(
+        "metrics_dir", nargs="?", default=None,
+        help="metrics directory of the run to watch "
+             "(default: $REPRO_METRICS_DIR or .repro_metrics)",
+    )
+    p.add_argument(
+        "--interval", type=float, default=2.0, metavar="SECONDS",
+        help="refresh interval (default 2.0)",
+    )
+    p.add_argument(
+        "--once", action="store_true",
+        help="render a single frame and exit (no screen clearing)",
+    )
+    p.set_defaults(func=cmd_top)
 
     return parser
 

@@ -33,6 +33,7 @@ from repro.attack.satattack import SatAttack, SatAttackConfig, SatAttackResult
 from repro.core.modeling import CombinationalModel, build_combinational_model
 from repro.locking.effdyn import EffDynPublicView
 from repro.netlist.netlist import Netlist
+from repro.observability import spans as obs
 from repro.opt import optimize, resolve_level
 from repro.scan.oracle import ScanOracle
 from repro.util.timing import Stopwatch
@@ -121,15 +122,16 @@ class DynUnlock:
 
     # ------------------------------------------------------------------
     def _build_model(self, n_captures: int) -> CombinationalModel:
-        model = build_combinational_model(
-            self.netlist,
-            spec=self.view.spec,
-            taps=self.view.lfsr_taps,
-            key_bits=self.view.lfsr_width,
-            mode="dynamic",
-            n_captures=n_captures,
-            include_pos=self.config.include_pos,
-        )
+        with obs.phase("model"):
+            model = build_combinational_model(
+                self.netlist,
+                spec=self.view.spec,
+                taps=self.view.lfsr_taps,
+                key_bits=self.view.lfsr_width,
+                mode="dynamic",
+                n_captures=n_captures,
+                include_pos=self.config.include_pos,
+            )
         # Optimize once per round so the SAT session *and* the replay
         # refinement both consume the reduced netlist (the interface is
         # pinned, so a_inputs/key_inputs/b_outputs wiring is unchanged).
@@ -222,19 +224,29 @@ class DynUnlock:
                     observed += list(response.primary_outputs)
                 return observed
 
-            refinement = refine_candidates_by_replay(
-                model,
-                candidates,
-                replay,
-                rng,
-                n_patterns=cfg.verify_patterns,
-                stop_at_one=False,
-            )
+            with obs.phase("replay"):
+                refinement = refine_candidates_by_replay(
+                    model,
+                    candidates,
+                    replay,
+                    rng,
+                    n_patterns=cfg.verify_patterns,
+                    stop_at_one=False,
+                )
             survivors = refinement.survivors
             if survivors:
                 recovered = survivors[0]
 
         watch.stop()
+        if obs.active():
+            obs.incr("rounds", len(rounds))
+            obs.incr(
+                "oracle_queries",
+                # SatAttack already counted its DIP-loop queries; add the
+                # brute-force replay traffic so the span total matches
+                # the oracle's own ledger.
+                max(0, self.oracle.query_count - queries_before - total_iterations),
+            )
         return DynUnlockResult(
             success=recovered is not None,
             recovered_seed=recovered,

@@ -331,6 +331,7 @@ def run_campaign(
     shrink_limit: int = 8,
     shrink_evals: int = 48,
     opt_level: int | None = None,
+    observer=None,
 ) -> CampaignReport:
     """Run one seeded campaign end to end; see the module docstring.
 
@@ -339,7 +340,10 @@ def run_campaign(
     (already-dispatched chunks finish).  Violations are shrunk (up to
     ``shrink_limit`` of them) and written to ``corpus_dir`` when given.
     ``opt_level`` overrides the optimization level recorded into every
-    trial (None = the active default).
+    trial (None = the active default).  ``observer`` (a
+    :class:`~repro.observability.session.RunObserver`) instruments the
+    trial scheduling; the invariant checks and shrinking run in-process
+    and are reported only through campaign-level metrics.
     """
     started = time.perf_counter()
     say = progress if progress is not None else (lambda _msg: None)
@@ -360,7 +364,11 @@ def run_campaign(
             break
         chunk = specs[cursor : cursor + chunk_size]
         chunk_report = run_jobs(
-            chunk, jobs=jobs, store=store, progress=adapt_progress(say)
+            chunk,
+            jobs=jobs,
+            store=store,
+            progress=adapt_progress(say),
+            observer=observer,
         )
         for outcome in chunk_report.outcomes:
             outcome.index += cursor  # chunk-local -> campaign-global

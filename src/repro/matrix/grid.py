@@ -346,6 +346,7 @@ def run_matrix(
     defenses: Sequence[str] | None = None,
     benchmarks: Sequence[str] | None = None,
     opt_level: int | None = None,
+    observer=None,
 ):
     """Run the grid end to end: ``(rows, RunReport)``."""
     from repro.reports.experiments import adapt_progress
@@ -359,7 +360,11 @@ def run_matrix(
         opt_level=opt_level,
     )
     report = run_jobs(
-        specs, jobs=jobs, store=store, progress=adapt_progress(progress)
+        specs,
+        jobs=jobs,
+        store=store,
+        progress=adapt_progress(progress),
+        observer=observer,
     )
     report.raise_on_error()
     rows = matrix_rows(report.outcomes, attacks=attacks, defenses=defenses)

@@ -1,0 +1,60 @@
+"""Structured JSON logging: one event per line, shared run context.
+
+:class:`JsonLogger` writes newline-delimited JSON records -- never
+free-form text -- so a fuzz farm's log pipeline can filter and join
+them without regexes.  Every record carries the same envelope::
+
+    {"ts": 1754650000.123, "level": "info", "event": "job_finished",
+     "run_id": "f3a9c2d41b08", ...event fields...}
+
+``ts`` is a unix timestamp, ``event`` is a stable snake_case name from
+the catalogue in ``docs/observability.md``, and ``run_id`` ties every
+line of one invocation together (the same id appears in span records
+and artifact headers).  Event fields are JSON-safe by construction;
+anything exotic is stringified rather than raising mid-run.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import IO
+
+
+class JsonLogger:
+    """Write structured events as JSON lines to one stream."""
+
+    def __init__(self, stream: IO[str], *, run_id: str = "", close: bool = False) -> None:
+        self._stream = stream
+        self._close = close
+        self.run_id = run_id
+
+    def log(self, event: str, *, level: str = "info", **fields: object) -> None:
+        """Emit one event record; never raises on unserialisable fields."""
+        record: dict[str, object] = {
+            "ts": round(time.time(), 3),
+            "level": level,
+            "event": event,
+        }
+        if self.run_id:
+            record["run_id"] = self.run_id
+        record.update(fields)
+        try:
+            line = json.dumps(record, sort_keys=True, default=str)
+        except (TypeError, ValueError):
+            line = json.dumps(
+                {"ts": record["ts"], "level": "error", "event": "log_encode_failed"}
+            )
+        self._stream.write(line + "\n")
+        try:
+            self._stream.flush()
+        except (OSError, ValueError):
+            pass
+
+    def close(self) -> None:
+        """Close the underlying stream iff this logger owns it."""
+        if self._close:
+            try:
+                self._stream.close()
+            except OSError:
+                pass

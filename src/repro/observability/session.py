@@ -1,0 +1,358 @@
+"""The per-invocation observability session and the runner observer.
+
+One :class:`ObsSession` exists per instrumented CLI invocation (started
+by ``--metrics-dir`` / ``--log-json``, or programmatically via
+:func:`start_session`).  It owns the run id, the structured
+:class:`~repro.observability.logs.JsonLogger`, the
+:class:`~repro.observability.metrics.MetricsRegistry`, and -- when a
+metrics directory is given -- the on-disk artifacts:
+
+* ``run.json`` -- run identity (id, command, argv, start time);
+* ``spans.jsonl`` -- streamed per-job records (``kind: submitted`` when
+  a job is dispatched, ``kind: span`` when it finishes), appended as
+  they happen so ``dynunlock top`` can watch a live run;
+* ``metrics.prom`` -- Prometheus text exposition, written at
+  :meth:`ObsSession.finalize`;
+* ``BENCH_obs.json``/``.csv`` -- the per-experiment phase-time summary
+  as a standard artifact.
+
+:class:`RunObserver` is the bridge the scheduler calls: it stamps
+submit times (queue latency), folds finished
+:class:`~repro.runner.scheduler.JobOutcome` spans into metrics, and
+streams the records out.  The session is held in a module global so
+the store backends can report hits/misses through :func:`store_event`
+without any plumbing -- and so that, with no session active, that
+report is a single ``None`` check (the zero-cost-by-default rule).
+The global is parent-process state: pool workers inherit it across
+``fork`` but never touch it -- worker-side instrumentation goes
+through :mod:`repro.observability.spans` only.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+import uuid
+from pathlib import Path
+from typing import IO
+
+from repro.observability.logs import JsonLogger
+from repro.observability.metrics import MetricsRegistry
+
+#: Schema of the ``run.json`` / ``spans.jsonl`` record layout.
+OBS_SCHEMA_VERSION = 1
+
+#: Phase columns of the ``BENCH_obs`` summary, in reporting order;
+#: phases outside this list (e.g. ``opt``, ``enumerate``) fold into
+#: the ``Other`` column.  Catalogue: ``docs/observability.md``.
+SUMMARY_PHASES = ("queue", "model", "encode", "solve", "oracle", "replay")
+
+_SESSION: ObsSession | None = None
+
+
+def current_session() -> ObsSession | None:
+    """The active session, if any."""
+    return _SESSION
+
+
+def store_event(backend: str, event: str) -> None:
+    """Count one result-store operation (``hit``/``miss``/``put``/...).
+
+    Called from :class:`~repro.runner.stores.base.BaseStore` on every
+    get/put; a bare ``None`` check when no session is active.
+    """
+    session = _SESSION
+    if session is not None:
+        session.metrics.counter(
+            "repro_store_requests_total",
+            "Result-store operations by backend and outcome",
+        ).inc(backend=backend, event=event)
+
+
+class ObsSession:
+    """Run-scoped observability state; see the module docstring."""
+
+    def __init__(
+        self,
+        *,
+        metrics_dir: str | Path | None = None,
+        log_json: str | Path | None = None,
+        command: str = "",
+        run_id: str | None = None,
+        argv: list[str] | None = None,
+    ) -> None:
+        self.run_id = run_id or uuid.uuid4().hex[:12]
+        self.command = command
+        self.started_unix = time.time()
+        self._t0 = time.perf_counter()
+        self.metrics = MetricsRegistry()
+        self.spans: list[dict] = []
+        self.metrics_dir = Path(metrics_dir) if metrics_dir else None
+        self._spans_fh: IO[str] | None = None
+        if self.metrics_dir is not None:
+            self.metrics_dir.mkdir(parents=True, exist_ok=True)
+            (self.metrics_dir / "run.json").write_text(
+                json.dumps(
+                    {
+                        "schema_version": OBS_SCHEMA_VERSION,
+                        "run_id": self.run_id,
+                        "command": command,
+                        "argv": list(argv if argv is not None else sys.argv),
+                        "started_unix": round(self.started_unix, 3),
+                    },
+                    indent=1,
+                    sort_keys=True,
+                )
+                + "\n"
+            )
+            self._spans_fh = (self.metrics_dir / "spans.jsonl").open("a")
+        self.logger: JsonLogger | None = None
+        if log_json:
+            if str(log_json) == "-":
+                self.logger = JsonLogger(sys.stderr, run_id=self.run_id)
+            else:
+                path = Path(log_json)
+                path.parent.mkdir(parents=True, exist_ok=True)
+                self.logger = JsonLogger(path.open("a"), run_id=self.run_id, close=True)
+        self.log(
+            "run_started",
+            command=command,
+            metrics_dir=str(self.metrics_dir) if self.metrics_dir else None,
+        )
+
+    # -- event sinks ---------------------------------------------------------
+
+    def log(self, event: str, *, level: str = "info", **fields: object) -> None:
+        """Emit one structured log event (no-op without ``--log-json``)."""
+        if self.logger is not None:
+            self.logger.log(event, level=level, **fields)
+
+    def emit(self, record: dict) -> None:
+        """Stream one span-file record (and retain ``kind: span`` ones)."""
+        record = {"run_id": self.run_id, **record}
+        if record.get("kind") == "span":
+            self.spans.append(record)
+        if self._spans_fh is not None:
+            self._spans_fh.write(json.dumps(record, sort_keys=True) + "\n")
+            self._spans_fh.flush()
+
+    # -- summary + teardown --------------------------------------------------
+
+    def summary(self) -> tuple[list[str], list[list[object]]]:
+        """Aggregate retained spans into the ``BENCH_obs`` table."""
+        return aggregate_spans(self.spans)
+
+    def finalize(self) -> None:
+        """Write ``metrics.prom`` + ``BENCH_obs`` and close every sink."""
+        wall_s = time.perf_counter() - self._t0
+        self.log(
+            "run_finished",
+            command=self.command,
+            n_spans=len(self.spans),
+            wall_s=round(wall_s, 3),
+        )
+        if self.metrics_dir is not None:
+            (self.metrics_dir / "metrics.prom").write_text(self.metrics.render_prom())
+            from repro.runner.artifacts import write_artifact
+
+            headers, rows = self.summary()
+            write_artifact(
+                self.metrics_dir,
+                "obs",
+                headers,
+                rows,
+                title=f"Observability summary — run {self.run_id}",
+                meta={
+                    "run_id": self.run_id,
+                    "command": self.command,
+                    "wall_s": round(wall_s, 3),
+                    "n_spans": len(self.spans),
+                    "metrics": self.metrics.as_dict(),
+                },
+            )
+        if self._spans_fh is not None:
+            self._spans_fh.close()
+            self._spans_fh = None
+        if self.logger is not None:
+            self.logger.close()
+            self.logger = None
+
+
+def start_session(**kwargs) -> ObsSession:
+    """Open the process-wide session; at most one may be active."""
+    global _SESSION
+    if _SESSION is not None:
+        raise RuntimeError("an observability session is already active")
+    _SESSION = ObsSession(**kwargs)
+    return _SESSION
+
+
+def end_session() -> None:
+    """Finalize and clear the process-wide session, if any.
+
+    Finalize runs while the session is still current so the
+    ``BENCH_obs`` artifact it writes stamps the session's own run id
+    (``run_metadata`` resolves it via :func:`current_session`).
+    """
+    global _SESSION
+    session = _SESSION
+    if session is not None:
+        try:
+            session.finalize()
+        finally:
+            _SESSION = None
+
+
+def aggregate_spans(spans: list[dict]) -> tuple[list[str], list[list[object]]]:
+    """Fold span records into one row per experiment (phase-time columns)."""
+    headers = ["Experiment", "Jobs", "Computed", "Cached", "Failed"]
+    headers += [f"{p.capitalize()} (s)" for p in SUMMARY_PHASES]
+    headers += ["Other (s)", "Total (s)"]
+    by_exp: dict[str, dict] = {}
+    for span in spans:
+        agg = by_exp.setdefault(
+            span.get("experiment", "?"),
+            {"jobs": 0, "computed": 0, "cached": 0, "failed": 0, "phases": {}, "total": 0.0},
+        )
+        agg["jobs"] += 1
+        status = span.get("status", "computed")
+        agg[status if status in ("computed", "cached", "failed") else "computed"] += 1
+        agg["total"] += float(span.get("duration_s", 0.0))
+        phases = dict(span.get("phases") or {})
+        phases["queue"] = phases.get("queue", 0.0) + float(span.get("queue_s", 0.0))
+        for name, seconds in phases.items():
+            agg["phases"][name] = agg["phases"].get(name, 0.0) + float(seconds)
+    rows: list[list[object]] = []
+    for exp in sorted(by_exp):
+        agg = by_exp[exp]
+        # "Other" = explicitly timed non-summary phases plus whatever part
+        # of the job durations no phase accounted for.  Queue time is not
+        # part of ``duration_s`` (it elapses before the worker starts), so
+        # it is excluded from the unaccounted computation.
+        known = sum(agg["phases"].get(p, 0.0) for p in SUMMARY_PHASES if p != "queue")
+        other = sum(v for k, v in agg["phases"].items() if k not in SUMMARY_PHASES)
+        other += max(0.0, agg["total"] - known - other)
+        row: list[object] = [exp, agg["jobs"], agg["computed"], agg["cached"], agg["failed"]]
+        row += [round(agg["phases"].get(p, 0.0), 3) for p in SUMMARY_PHASES]
+        row += [round(other, 3), round(agg["total"], 3)]
+        rows.append(row)
+    return headers, rows
+
+
+class RunObserver:
+    """Scheduler-facing hooks: submit stamps, span folding, streaming."""
+
+    #: Tells the scheduler to ask workers for span payloads.
+    collect_spans = True
+
+    def __init__(self, session: ObsSession) -> None:
+        self.session = session
+        self._submitted: dict[int, float] = {}
+
+    def submitted(self, outcome) -> None:
+        """A job left the scheduler for a worker (or the serial path)."""
+        now = time.time()
+        self._submitted[outcome.index] = now
+        self.session.emit(
+            {
+                "kind": "submitted",
+                "job_id": outcome.index,
+                "experiment": outcome.spec.experiment,
+                "label": outcome.spec.label,
+                "t": round(now, 6),
+            }
+        )
+
+    def finished(self, outcome) -> None:
+        """A job landed: cached, computed, or failed."""
+        span = getattr(outcome, "span", None) or {}
+        now = time.time()
+        status = (
+            "failed" if not outcome.ok else ("cached" if outcome.cached else "computed")
+        )
+        started = float(span.get("started_unix", now))
+        submit_t = self._submitted.get(outcome.index)
+        queue_s = (
+            max(0.0, started - submit_t) if (submit_t is not None and span) else 0.0
+        )
+        self._record(
+            {
+                "kind": "span",
+                "job_id": outcome.index,
+                "experiment": outcome.spec.experiment,
+                "label": outcome.spec.label,
+                "spec_hash": outcome.spec.spec_hash[:12],
+                "status": status,
+                "cached": outcome.cached,
+                "attempts": outcome.attempts,
+                "queue_s": round(queue_s, 6),
+                "duration_s": outcome.duration_s,
+                "started_unix": round(started, 6),
+                "ended_unix": round(float(span.get("ended_unix", now)), 6),
+                "phases": span.get("phases", {}),
+                "counts": span.get("counts", {}),
+                "attrs": span.get("attrs", {}),
+                "error": outcome.error,
+            }
+        )
+
+    def inline_span(self, span: dict, *, status: str = "computed", job_id: int = 0) -> None:
+        """Record a span measured in-process (no scheduler involved)."""
+        self._record(
+            {
+                "kind": "span",
+                "job_id": job_id,
+                "experiment": span.get("experiment", "?"),
+                "label": span.get("label", "?"),
+                "spec_hash": span.get("spec_hash", ""),
+                "status": status,
+                "cached": False,
+                "attempts": 1,
+                "queue_s": 0.0,
+                "duration_s": span.get("duration_s", 0.0),
+                "started_unix": span.get("started_unix", 0.0),
+                "ended_unix": span.get("ended_unix", 0.0),
+                "phases": span.get("phases", {}),
+                "counts": span.get("counts", {}),
+                "attrs": span.get("attrs", {}),
+                "error": None,
+            }
+        )
+
+    def _record(self, record: dict) -> None:
+        metrics = self.session.metrics
+        experiment = record["experiment"]
+        metrics.counter(
+            "repro_jobs_total", "Jobs finished by experiment and status"
+        ).inc(experiment=experiment, status=record["status"])
+        if record["status"] == "computed":
+            metrics.histogram(
+                "repro_job_duration_seconds", "Wall-clock of freshly computed jobs"
+            ).observe(float(record["duration_s"]), experiment=experiment)
+            metrics.histogram(
+                "repro_job_queue_seconds", "Submit-to-start latency of computed jobs"
+            ).observe(float(record["queue_s"]), experiment=experiment)
+        for phase, seconds in (record.get("phases") or {}).items():
+            metrics.counter(
+                "repro_phase_seconds_total", "Seconds spent per instrumented phase"
+            ).inc(float(seconds), experiment=experiment, phase=phase)
+        if record["queue_s"]:
+            metrics.counter(
+                "repro_phase_seconds_total", "Seconds spent per instrumented phase"
+            ).inc(float(record["queue_s"]), experiment=experiment, phase="queue")
+        for name, count in (record.get("counts") or {}).items():
+            metrics.counter(
+                f"repro_{name}_total", f"Total {name} across instrumented jobs"
+            ).inc(float(count), experiment=experiment)
+        self.session.emit(record)
+        self.session.log(
+            "job_finished",
+            job_id=record["job_id"],
+            experiment=experiment,
+            label=record["label"],
+            status=record["status"],
+            duration_s=round(float(record["duration_s"]), 6),
+            queue_s=record["queue_s"],
+            error=record["error"],
+        )

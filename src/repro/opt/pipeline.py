@@ -31,6 +31,7 @@ import time
 from dataclasses import dataclass, field
 
 from repro.netlist.netlist import Netlist
+from repro.observability import spans as obs
 from repro.opt.satsweep import sat_sweep
 from repro.opt.structhash import structural_hash
 from repro.opt.sweep import sweep
@@ -204,6 +205,10 @@ def optimize(
         if record.name == "sweep":
             stats.unused_inputs = list(record.detail.get("unused_inputs", ()))
             break
+    if obs.active():
+        # One span update per pipeline run; nothing on the per-pass path.
+        obs.add_phase("opt", stats.time_s)
+        obs.incr("opt_gates_removed", stats.gates_removed)
     return OptResult(netlist=current, stats=stats)
 
 

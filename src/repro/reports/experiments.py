@@ -100,18 +100,25 @@ def run_grid_experiment(
     *,
     jobs: int = 1,
     store: ResultStore | None = None,
+    observer=None,
     **spec_kwargs,
 ):
     """Run one :data:`GRID` experiment end to end: ``(rows, RunReport)``.
 
     The one-stop surface for callers (the CLI, scripts) that also want
     the scheduler accounting -- cached/computed counts, wall time --
-    next to the aggregated paper-style rows.
+    next to the aggregated paper-style rows.  ``observer`` (a
+    :class:`~repro.observability.session.RunObserver`) turns on per-job
+    span/metric collection; ``None`` keeps the run instrumentation-free.
     """
     experiment = GRID[name]
     specs = experiment.build_specs(profile, **spec_kwargs)
     report = run_jobs(
-        specs, jobs=jobs, store=store, progress=adapt_progress(progress)
+        specs,
+        jobs=jobs,
+        store=store,
+        progress=adapt_progress(progress),
+        observer=observer,
     )
     report.raise_on_error()
     return experiment.aggregate(report.outcomes), report

@@ -7,16 +7,51 @@ choosing.  The JSON is the machine-readable record CI uploads and diffs
 against the checked-in baseline (``scripts/check_bench_regression.py``);
 :func:`repro.reports.tables.render_artifact` turns either file's data
 back into the paper-style text table.
+
+Every artifact carries two provenance fields on top of the legacy
+``format`` marker (the documented contract lives in
+``docs/observability.md`` § "Artifact schema"):
+
+* ``schema_version`` -- integer, bumped when the payload layout
+  changes.  Version 1 (implicit: the field is absent) had no ``run``
+  block; version 2 adds it.  :func:`load_artifact` accepts any version
+  up to :data:`ARTIFACT_SCHEMA_VERSION` and rejects newer ones, so old
+  readers fail loudly instead of misparsing future layouts.
+* ``run`` -- where the artifact came from: a ``run_id`` (shared with
+  the observability session's logs/spans when one is active), creation
+  time, python/platform, and the source-tree fingerprint prefix.
 """
 
 from __future__ import annotations
 
 import csv
 import json
+import platform
+import sys
+import time
+import uuid
 from pathlib import Path
 from typing import Any, Sequence
 
 ARTIFACT_FORMAT = "dynunlock-artifact/1"
+
+#: Payload layout version; see the module docstring for the history.
+ARTIFACT_SCHEMA_VERSION = 2
+
+
+def run_metadata() -> dict[str, Any]:
+    """The ``run`` provenance block stamped into every artifact."""
+    from repro.observability.session import current_session
+    from repro.runner.spec import code_version
+
+    session = current_session()
+    return {
+        "run_id": session.run_id if session is not None else uuid.uuid4().hex[:12],
+        "created_unix": round(time.time(), 3),
+        "python": platform.python_version(),
+        "platform": sys.platform,
+        "code_version": code_version()[:20],
+    }
 
 
 def artifact_paths(directory: str | Path, experiment: str) -> tuple[Path, Path]:
@@ -40,6 +75,8 @@ def write_artifact(
     json_path.parent.mkdir(parents=True, exist_ok=True)
     payload = {
         "format": ARTIFACT_FORMAT,
+        "schema_version": ARTIFACT_SCHEMA_VERSION,
+        "run": run_metadata(),
         "experiment": experiment,
         "title": title,
         "profile": profile,
@@ -56,11 +93,24 @@ def write_artifact(
 
 
 def load_artifact(path: str | Path) -> dict[str, Any]:
-    """Read an artifact JSON back, validating its format marker."""
+    """Read an artifact JSON back, validating format marker and schema.
+
+    Artifacts written before the ``schema_version`` field (version 1,
+    e.g. checked-in baselines) load unchanged; artifacts from a *newer*
+    schema are rejected rather than silently misread.
+    """
     data = json.loads(Path(path).read_text())
     if data.get("format") != ARTIFACT_FORMAT:
         raise ValueError(
             f"{path} is not a {ARTIFACT_FORMAT} artifact "
             f"(format={data.get('format')!r})"
+        )
+    version = data.get("schema_version", 1)
+    if not isinstance(version, int) or isinstance(version, bool) or version < 1:
+        raise ValueError(f"{path} has an invalid schema_version: {version!r}")
+    if version > ARTIFACT_SCHEMA_VERSION:
+        raise ValueError(
+            f"{path} uses artifact schema v{version}; this reader understands "
+            f"up to v{ARTIFACT_SCHEMA_VERSION} -- upgrade the repro package"
         )
     return data

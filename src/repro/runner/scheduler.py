@@ -19,6 +19,12 @@ nondeterminism.  Features:
   simply re-running the grid retries the failed cells anyway).
 * ``progress`` receives every :class:`JobOutcome` as it lands, cached or
   computed, for streaming CLI/bench output.
+* ``observer`` (a :class:`~repro.observability.session.RunObserver`,
+  or any object with ``submitted``/``finished`` hooks and a
+  ``collect_spans`` flag) turns on per-job instrumentation: workers
+  collect phase spans, and every dispatch/landing is reported for
+  queue-latency accounting and metrics.  ``None`` (the default) is
+  strictly zero-cost -- no span collection, byte-identical results.
 
 Failures never raise mid-grid: they land in ``JobOutcome.error`` so one
 bad cell cannot waste the rest of a long run.  Call
@@ -55,6 +61,8 @@ class JobOutcome:
     attempts: int = 0
     duration_s: float = 0.0
     error: str | None = None
+    #: Worker-collected instrumentation record (observer runs only).
+    span: dict | None = None
 
     @property
     def ok(self) -> bool:
@@ -120,6 +128,7 @@ def run_jobs(
     timeout_s: float | None = None,
     retries: int = 0,
     progress: ProgressFn | None = None,
+    observer=None,
 ) -> RunReport:
     """Execute a grid of specs; see the module docstring for semantics."""
     started = time.perf_counter()
@@ -133,15 +142,19 @@ def run_jobs(
         if hit is not None:
             outcome.result = hit
             outcome.cached = True
+            if observer is not None:
+                observer.finished(outcome)
             _emit(progress, outcome)
         else:
             pending.append(outcome.index)
 
     if pending:
         if jobs <= 1:
-            _run_serial(report, pending, store, timeout_s, retries, progress)
+            _run_serial(report, pending, store, timeout_s, retries, progress, observer)
         else:
-            _run_parallel(report, pending, jobs, store, timeout_s, retries, progress)
+            _run_parallel(
+                report, pending, jobs, store, timeout_s, retries, progress, observer
+            )
 
     report.wall_s = time.perf_counter() - started
     return report
@@ -153,12 +166,16 @@ def _finish(
     payload: dict,
     store: StoreBackend | None,
     progress: ProgressFn | None,
+    observer=None,
 ) -> None:
     outcome = report.outcomes[index]
     outcome.result = payload["result"]
     outcome.duration_s = payload["duration_s"]
+    outcome.span = payload.get("span")
     if store is not None:
         store.put(outcome.spec, outcome.result, duration_s=outcome.duration_s)
+    if observer is not None:
+        observer.finished(outcome)
     _emit(progress, outcome)
 
 
@@ -167,10 +184,17 @@ def _fail(
     index: int,
     exc: BaseException,
     progress: ProgressFn | None,
+    observer=None,
 ) -> None:
     outcome = report.outcomes[index]
     outcome.error = f"{type(exc).__name__}: {exc}"
+    if observer is not None:
+        observer.finished(outcome)
     _emit(progress, outcome)
+
+
+def _collect_spans(observer) -> bool:
+    return observer is not None and getattr(observer, "collect_spans", False)
 
 
 def _run_serial(
@@ -180,22 +204,26 @@ def _run_serial(
     timeout_s: float | None,
     retries: int,
     progress: ProgressFn | None,
+    observer=None,
 ) -> None:
+    collect = _collect_spans(observer)
     for index in pending:
         outcome = report.outcomes[index]
         last_exc: BaseException | None = None
         for _ in range(retries + 1):
             outcome.attempts += 1
+            if observer is not None:
+                observer.submitted(outcome)
             try:
-                payload = execute_job(outcome.spec.to_dict(), timeout_s)
+                payload = execute_job(outcome.spec.to_dict(), timeout_s, collect)
             except Exception as exc:
                 last_exc = exc
             else:
-                _finish(report, index, payload, store, progress)
+                _finish(report, index, payload, store, progress, observer)
                 last_exc = None
                 break
         if last_exc is not None:
-            _fail(report, index, last_exc, progress)
+            _fail(report, index, last_exc, progress, observer)
 
 
 def _run_parallel(
@@ -206,13 +234,17 @@ def _run_parallel(
     timeout_s: float | None,
     retries: int,
     progress: ProgressFn | None,
+    observer=None,
 ) -> None:
+    collect = _collect_spans(observer)
     with ProcessPoolExecutor(max_workers=jobs) as pool:
 
         def submit(index: int):
             report.outcomes[index].attempts += 1
             spec_dict = report.outcomes[index].spec.to_dict()
-            return pool.submit(execute_job, spec_dict, timeout_s)
+            if observer is not None:
+                observer.submitted(report.outcomes[index])
+            return pool.submit(execute_job, spec_dict, timeout_s, collect)
 
         futures = {submit(index): index for index in pending}
         while futures:
@@ -226,8 +258,8 @@ def _run_parallel(
                         try:
                             futures[submit(index)] = index
                         except Exception as resubmit_exc:
-                            _fail(report, index, resubmit_exc, progress)
+                            _fail(report, index, resubmit_exc, progress, observer)
                     else:
-                        _fail(report, index, exc, progress)
+                        _fail(report, index, exc, progress, observer)
                 else:
-                    _finish(report, index, payload, store, progress)
+                    _finish(report, index, payload, store, progress, observer)

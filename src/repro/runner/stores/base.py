@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Iterator, Protocol, runtime_checkable
 
+from repro.observability.session import store_event
 from repro.runner.spec import JobSpec, code_version
 
 DEFAULT_CACHE_DIR = ".repro_cache"
@@ -188,9 +189,9 @@ class BaseStore:
     def get(self, spec: JobSpec) -> dict | None:
         """Return the cached result dict, or ``None`` on any kind of miss."""
         raw = self._read_raw(spec.experiment, entry_key(spec))
-        if raw is None:
-            return None
-        return decode_entry_result(raw, spec)
+        result = None if raw is None else decode_entry_result(raw, spec)
+        store_event(self.name, "hit" if result is not None else "miss")
+        return result
 
     def put(
         self, spec: JobSpec, result: dict, *, duration_s: float | None = None
@@ -198,6 +199,7 @@ class BaseStore:
         """Atomically persist ``result`` for ``spec``."""
         raw = encode_entry(spec, result, duration_s=duration_s)
         self._write_raw(spec.experiment, entry_key(spec), raw, None)
+        store_event(self.name, "put")
 
     def put_raw(
         self, experiment: str, key: str, raw: bytes, *, mtime: float | None = None

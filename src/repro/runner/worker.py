@@ -27,13 +27,24 @@ def _alarm_handler(signum, frame):
     raise JobTimeout("job exceeded its wall-clock budget")
 
 
-def execute_job(spec_dict: dict[str, Any], timeout_s: float | None = None) -> dict:
+def execute_job(
+    spec_dict: dict[str, Any],
+    timeout_s: float | None = None,
+    collect_span: bool = False,
+) -> dict:
     """Run one cell; returns ``{"result": ..., "duration_s": ...}``.
 
     ``timeout_s`` arms an interval timer that aborts the cell with
     :class:`JobTimeout` (delivered to the caller as an exception result
     of the future).  Only the main thread of a process may set signal
     handlers, which holds for pool workers and for the serial path.
+
+    ``collect_span`` opens a :mod:`repro.observability.spans` span
+    around the cell so instrumented hot paths (SatAttack, DynUnlock,
+    the opt pipeline) record phase timings and counts; the finished
+    span travels back under a ``"span"`` payload key -- never inside
+    the result dict, so cache entries and rows are byte-identical with
+    instrumentation on or off.
     """
     from repro.reports.cells import run_cell
     from repro.runner.spec import JobSpec
@@ -41,6 +52,12 @@ def execute_job(spec_dict: dict[str, Any], timeout_s: float | None = None) -> di
     spec = JobSpec.from_dict(spec_dict)
     use_alarm = timeout_s is not None and hasattr(signal, "SIGALRM")
     previous = None
+    span = None
+    if collect_span:
+        from repro.observability.spans import begin_job_span
+
+        span = begin_job_span(spec.experiment, spec.label, spec.spec_hash[:12])
+    span_record = None
     start = time.perf_counter()
     if use_alarm:
         previous = signal.signal(signal.SIGALRM, _alarm_handler)
@@ -51,4 +68,13 @@ def execute_job(spec_dict: dict[str, Any], timeout_s: float | None = None) -> di
         if use_alarm:
             signal.setitimer(signal.ITIMER_REAL, 0.0)
             signal.signal(signal.SIGALRM, previous)
-    return {"result": result, "duration_s": time.perf_counter() - start}
+        if span is not None:
+            from repro.observability.spans import end_job_span
+
+            # Always close the span (clears the process-global slot);
+            # the record is discarded if the cell raised.
+            span_record = end_job_span(span)
+    payload = {"result": result, "duration_s": time.perf_counter() - start}
+    if span_record is not None:
+        payload["span"] = span_record
+    return payload
