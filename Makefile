@@ -28,6 +28,13 @@
 #                           the diff and commit it to bless the new budget
 #   make refresh-store-baseline - same blessing dance for the store bench
 #                           baseline (benchmarks/baselines/store_quick.json)
+#   make service-smoke    - end-to-end attack-as-a-service check: boots a
+#                           ReproService on a free port, drives a small
+#                           grid through the batching client twice, and
+#                           fails unless the second pass fully dedupes
+#                           and the results are byte-identical to the
+#                           in-process repro.api path; the server's
+#                           metrics.prom lands in $(SERVICE_SMOKE_DIR)
 #   make docs             - regenerate docs/cli.md from the live argparse
 #                           tree (scripts/gen_cli_docs.py); CI's docs-drift
 #                           job fails when the committed file differs
@@ -45,9 +52,10 @@ BASELINE_DIR = .bench_refresh
 OPT_BENCH_DIR ?= results
 STORE_BENCH_DIR ?= results
 STORE_BASELINE = benchmarks/baselines/store_quick.json
+SERVICE_SMOKE_DIR ?= .service_smoke
 
 .PHONY: verify bench test-all coverage matrix fuzz opt-bench store-bench \
-  refresh-baseline refresh-store-baseline docs lint
+  service-smoke refresh-baseline refresh-store-baseline docs lint
 
 verify:
 	$(PYTEST) -x -q
@@ -86,6 +94,12 @@ store-bench:
 	$(PYTHON) scripts/check_bench_regression.py \
 	  $(STORE_BASELINE) $(STORE_BENCH_DIR)/BENCH_store.json \
 	  --threshold 0.25 --metric default_total_s
+
+# Fresh workdir each run: the dedupe arithmetic assumes an empty store.
+service-smoke:
+	rm -rf $(SERVICE_SMOKE_DIR)
+	PYTHONPATH=src $(PYTHON) scripts/service_smoke.py \
+	  --workdir $(SERVICE_SMOKE_DIR) --jobs $${REPRO_JOBS:-1}
 
 # The regression gate compares against this artifact's meta block, so it
 # must come from a cache-less run (--no-resume) to carry fresh timings.

@@ -30,8 +30,19 @@ from pathlib import Path
 
 
 def load_meta(path: Path) -> dict:
-    """Read an artifact/baseline JSON and return it whole."""
+    """Read an artifact/baseline JSON, flattening the v3 envelope.
+
+    Schema v3 artifacts nest headers/rows/meta under ``payload``;
+    earlier versions (including checked-in baselines) keep them at the
+    top level.  Both normalise to the flat view here, so a baseline and
+    a fresh artifact from different schema generations stay comparable.
+    """
     data = json.loads(path.read_text())
+    payload = data.get("payload")
+    if isinstance(payload, dict):
+        flat = {k: v for k, v in data.items() if k != "payload"}
+        flat.update(payload)
+        data = flat
     if "meta" not in data:
         raise SystemExit(f"{path}: no 'meta' block -- not a runner artifact")
     return data

@@ -62,14 +62,14 @@ import random
 import sys
 from contextlib import contextmanager
 
+from repro import api
 from repro.bench_suite.registry import (
     PAPER_BENCHMARKS,
     build_benchmark_netlist,
     get_benchmark,
 )
-from repro.core.dynunlock import DynUnlockConfig, dynunlock
 from repro.locking.effdyn import lock_with_effdyn
-from repro.reports.experiments import GRID, run_grid_experiment
+from repro.reports.experiments import GRID
 from repro.reports.profiles import PROFILES, active_profile
 from repro.reports.tables import render_table
 from repro.runner.artifacts import write_artifact
@@ -184,39 +184,33 @@ def _emit_artifact(
 def _run_experiment(
     args: argparse.Namespace, name: str, observer=None, **spec_kwargs
 ) -> int:
-    """Run one named grid through the scheduler and print/emit its table."""
-    experiment = GRID[name]
+    """Run one named grid through :mod:`repro.api` and print/emit its table."""
     profile = _profile_from_args(args)
     opt_level = getattr(args, "opt_level", None)
     if opt_level is not None:
         spec_kwargs["opt_level"] = opt_level
     with _observation(args, name, observer) as obs:
-        rows, report = run_grid_experiment(
+        grid = api.run_grid(
             name,
-            profile,
-            _progress,
+            profile=profile,
             jobs=_jobs_from_args(args),
             store=_store_from_args(args),
+            progress=_progress,
             observer=obs,
             **spec_kwargs,
         )
         # Emit inside the observation so the artifact's run block shares
         # the session's run_id with the logs/spans it was measured under.
-        title = f"{experiment.title} (profile={profile.name})"
-        print(
-            render_table(
-                experiment.headers, [r.as_cells() for r in rows], title=title
-            )
-        )
-        print(f"  [=] {report.summary()}", file=sys.stderr)
+        print(render_table(grid.headers, grid.as_cells(), title=grid.title))
+        print(f"  [=] {grid.report.summary()}", file=sys.stderr)
         _emit_artifact(
             args,
             name,
-            experiment.headers,
-            [r.as_cells() for r in rows],
-            title=title,
+            grid.headers,
+            grid.as_cells(),
+            title=grid.title,
             profile_name=profile.name,
-            report=report,
+            report=grid.report,
         )
     return 0
 
@@ -243,6 +237,7 @@ def cmd_list(args: argparse.Namespace) -> int:
 def cmd_selftest(args: argparse.Namespace) -> int:
     """``dynunlock selftest``: end-to-end DynUnlock on the genuine s27."""
     from repro.bench_suite.iscas import s27_netlist
+    from repro.core.dynunlock import dynunlock
 
     netlist = s27_netlist()
     lock = lock_with_effdyn(netlist, key_bits=2, rng=random.Random(7))
@@ -257,41 +252,21 @@ def cmd_selftest(args: argparse.Namespace) -> int:
 
 def cmd_attack(args: argparse.Namespace) -> int:
     """``dynunlock attack``: lock one benchmark with EFF-Dyn and break it."""
-    profile = _profile_from_args(args)
-    netlist = build_benchmark_netlist(args.benchmark, scale=args.scale or profile.scale)
-    key_bits = profile.effective_key_bits(netlist.n_dffs, args.key_bits)
-    rng = random.Random(args.lock_seed)
-    lock = lock_with_effdyn(netlist, key_bits=key_bits, rng=rng)
-    print(
-        f"locked {args.benchmark}: {netlist.n_dffs} scan flops, "
-        f"{key_bits}-bit dynamic key",
-        file=sys.stderr,
-    )
-    config = DynUnlockConfig(
-        timeout_s=args.timeout or profile.timeout_s,
-        opt_level=args.opt_level,
-    )
     with _observation(args, "attack") as observer:
-        if observer is None:
-            result = dynunlock(netlist, lock.public_view(), lock.make_oracle(), config)
-        else:
-            # No scheduler here: open the span in-process so the attack's
-            # phase instrumentation has a collection target.
-            from repro.observability import begin_job_span, end_job_span
-
-            span = begin_job_span(
-                "attack", f"attack[benchmark={args.benchmark},key_bits={key_bits}]"
-            )
-            try:
-                result = dynunlock(
-                    netlist, lock.public_view(), lock.make_oracle(), config
-                )
-            finally:
-                span_record = end_job_span(span)
-            observer.inline_span(span_record)
-    exact = result.recovered_seed == list(lock.seed)
+        run = api.run_attack(
+            args.benchmark,
+            profile=_profile_from_args(args),
+            key_bits=args.key_bits,
+            scale=args.scale,
+            lock_seed=args.lock_seed,
+            timeout_s=args.timeout,
+            opt_level=args.opt_level,
+            observer=observer,
+            progress=lambda message: print(message, file=sys.stderr),
+        )
+    result = run.result
     print(f"success          : {result.success}")
-    print(f"exact seed       : {exact}")
+    print(f"exact seed       : {run.exact_seed}")
     print(f"seed candidates  : {result.n_seed_candidates}")
     print(f"iterations       : {result.iterations}")
     print(f"oracle queries   : {result.oracle_queries}")
@@ -358,13 +333,8 @@ def cmd_ablation(args: argparse.Namespace) -> int:
 
 def cmd_matrix(args: argparse.Namespace) -> int:
     """``dynunlock matrix``: run the attack x defense resilience grid."""
-    from repro.matrix.grid import (
-        PAPER_EXPECTATIONS,
-        check_against_paper,
-        run_matrix,
-    )
+    from repro.matrix.grid import PAPER_EXPECTATIONS
     from repro.matrix.registry import attack_names, defense_names
-    from repro.reports.experiments import GRID
 
     profile = _profile_from_args(args)
     attacks = args.attacks or None
@@ -388,31 +358,32 @@ def cmd_matrix(args: argparse.Namespace) -> int:
         )
         return 2
     with _observation(args, "matrix") as observer:
-        rows, report = run_matrix(
-            profile,
-            _progress,
+        grid = api.run_matrix(
+            profile=profile,
             jobs=_jobs_from_args(args),
             store=_store_from_args(args),
+            progress=_progress,
             attacks=attacks,
             defenses=defenses,
             benchmarks=args.benchmarks or None,
             opt_level=args.opt_level,
             observer=observer,
         )
-        title = f"Attack x defense resilience matrix (profile={profile.name})"
-        headers = GRID["matrix"].headers
-        print(render_table(headers, [r.as_cells() for r in rows], title=title))
-        print(f"  [=] {report.summary()}", file=sys.stderr)
+        rows = grid.rows
+        print(render_table(grid.headers, grid.as_cells(), title=grid.title))
+        print(f"  [=] {grid.report.summary()}", file=sys.stderr)
 
-        mismatches = check_against_paper(rows) if args.check_paper else []
+        mismatches = (
+            api.check_matrix_against_paper(rows) if args.check_paper else []
+        )
         _emit_artifact(
             args,
             "matrix",
-            headers,
-            [r.as_cells() for r in rows],
-            title=title,
+            grid.headers,
+            grid.as_cells(),
+            title=grid.title,
             profile_name=profile.name,
-            report=report,
+            report=grid.report,
             extra_meta={
                 "verdicts": {f"{r.attack}|{r.defense}": r.verdict for r in rows},
                 # None (not 0) when the check was disabled, so artifact
@@ -438,12 +409,12 @@ def cmd_matrix(args: argparse.Namespace) -> int:
 
 def cmd_fuzz(args: argparse.Namespace) -> int:
     """``dynunlock fuzz``: run a seeded differential-fuzzing campaign."""
-    from repro.fuzz.campaign import FUZZ_HEADERS, campaign_rows, run_campaign
+    from repro.fuzz.campaign import FUZZ_HEADERS, campaign_rows
 
     profile = _profile_from_args(args)
     with _observation(args, "fuzz") as observer:
-        report = run_campaign(
-            profile,
+        report = api.run_fuzz(
+            profile=profile,
             trials=args.trials,
             seed=args.seed,
             jobs=_jobs_from_args(args),
@@ -911,6 +882,121 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """``dynunlock serve``: run the attack-as-a-service HTTP job API."""
+    from repro.service import ReproService
+
+    store = _store_from_args(args)
+    metrics_dir = args.metrics_dir or os.environ.get("REPRO_METRICS_DIR")
+    service = ReproService(
+        host=args.host,
+        port=args.port,
+        jobs=_jobs_from_args(args),
+        store=store,
+        metrics_dir=metrics_dir,
+        log_json=args.log_json,
+        argv=sys.argv,
+    )
+    backend = store.name if store is not None else "none"
+    print(
+        f"  [=] serving on {service.url} "
+        f"(store={backend}, jobs={_jobs_from_args(args)}; C-c to stop)",
+        file=sys.stderr,
+    )
+    # SIGTERM (e.g. a container runtime stopping the pod) must flush
+    # metrics like C-c does; raising turns it into the same exit path.
+    import signal
+
+    def _terminate(signum, frame):
+        raise KeyboardInterrupt
+
+    signal.signal(signal.SIGTERM, _terminate)
+    try:
+        service.serve_forever()
+    except KeyboardInterrupt:
+        print("  [=] shutting down", file=sys.stderr)
+    finally:
+        service.close()
+        if metrics_dir:
+            print(f"  [=] wrote metrics to {metrics_dir}", file=sys.stderr)
+    return 0
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    """``dynunlock submit``: run one grid remotely through a server.
+
+    Enumerates the same specs ``dynunlock run`` would, streams them to
+    the server through the batching client, polls to completion, then
+    aggregates the fetched results into the same table -- so a remote
+    grid and a local one print identical rows.
+    """
+    from repro.runner.scheduler import JobOutcome, RunReport
+    from repro.service.client import BatchingClient, ServiceClient
+
+    profile = _profile_from_args(args)
+    spec_kwargs = {}
+    if args.opt_level is not None:
+        spec_kwargs["opt_level"] = args.opt_level
+    if args.experiment in ("table2", "table3") and args.benchmarks:
+        spec_kwargs["benchmarks"] = args.benchmarks
+    specs = api.grid_specs(args.experiment, profile, **spec_kwargs)
+
+    import time as time_mod
+
+    t0 = time_mod.perf_counter()
+    client = ServiceClient(args.url, timeout_s=args.timeout, retries=args.retries)
+    with BatchingClient(client=client, batch_size=args.batch_size) as batcher:
+        for spec in specs:
+            batcher.submit(spec)
+        batcher.flush()
+        views = batcher.job_views
+    job_ids = list(dict.fromkeys(views[s.spec_hash]["job_id"] for s in specs))
+    print(
+        f"  [.] submitted {len(specs)} spec(s) as {len(job_ids)} job(s) "
+        f"to {args.url}",
+        file=sys.stderr,
+    )
+    done = client.wait(job_ids, timeout_s=args.wait_timeout, poll_s=args.poll)
+    failures = [v for v in done.values() if v["status"] == "failed"]
+    for view in failures:
+        print(f"  [!] {view['label']}: {view['error']}", file=sys.stderr)
+    if failures:
+        return 1
+    results = {job_id: client.result(job_id) for job_id in done}
+    outcomes = []
+    for i, spec in enumerate(specs):
+        job_id = views[spec.spec_hash]["job_id"]
+        view = done[job_id]
+        outcomes.append(
+            JobOutcome(
+                index=i,
+                spec=spec,
+                result=results[job_id],
+                cached=bool(view["cached"]),
+                attempts=int(view["attempts"]),
+                duration_s=float(view["duration_s"]),
+            )
+        )
+    report = RunReport(outcomes=outcomes, wall_s=time_mod.perf_counter() - t0)
+    rows = api.aggregate_grid(args.experiment, outcomes)
+    title = f"{GRID[args.experiment].title} (profile={profile.name}, remote)"
+    headers = list(GRID[args.experiment].headers)
+    cells = [row.as_cells() for row in rows]
+    print(render_table(headers, cells, title=title))
+    print(f"  [=] {report.summary()}", file=sys.stderr)
+    _emit_artifact(
+        args,
+        args.experiment,
+        headers,
+        cells,
+        title=title,
+        profile_name=profile.name,
+        report=report,
+        extra_meta={"remote_url": args.url},
+    )
+    return 0
+
+
 def cmd_top(args: argparse.Namespace) -> int:
     """``dynunlock top``: live view over a run's metrics directory."""
     from repro.observability.top import watch
@@ -1245,6 +1331,77 @@ def build_parser() -> argparse.ArgumentParser:
     add_opt(p)
     add_obs(p)
     p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser(
+        "serve", help="run the HTTP job API (attack-as-a-service)"
+    )
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default 127.0.0.1)")
+    p.add_argument("--port", type=int, default=8537,
+                   help="bind port (default 8537; 0 = pick a free one)")
+    p.add_argument(
+        "-j", "--jobs", type=int, default=1, metavar="N",
+        help="worker processes per job batch (1 = serial, 0 = one per core)",
+    )
+    p.add_argument(
+        "--resume", action=argparse.BooleanOptionalAction, default=True,
+        help="share cached cells through --cache-dir "
+             "(--no-resume serves without a store)",
+    )
+    p.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="result store location (default: $REPRO_CACHE_DIR "
+             "or .repro_cache)",
+    )
+    p.add_argument(
+        "--cache-backend", choices=sorted(BACKENDS), default=None,
+        help="result store backend (default: $REPRO_CACHE_BACKEND or json)",
+    )
+    add_obs(p)
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "submit", help="run an experiment grid remotely through a server"
+    )
+    p.add_argument(
+        "experiment", choices=sorted(GRID),
+        help="which grid's specs to submit",
+    )
+    p.add_argument(
+        "--url", default="http://127.0.0.1:8537", metavar="URL",
+        help="server base URL (default http://127.0.0.1:8537)",
+    )
+    p.add_argument(
+        "--benchmarks", nargs="*", default=[],
+        help="restrict table2/table3 to these benchmarks",
+    )
+    p.add_argument(
+        "--batch-size", type=int, default=16, metavar="N",
+        help="specs per POST from the batching client (default 16)",
+    )
+    p.add_argument(
+        "--poll", type=float, default=0.2, metavar="SECONDS",
+        help="status poll interval (default 0.2)",
+    )
+    p.add_argument(
+        "--wait-timeout", type=float, default=600.0, metavar="SECONDS",
+        help="give up waiting for results after this long (default 600)",
+    )
+    p.add_argument(
+        "--timeout", type=float, default=30.0, metavar="SECONDS",
+        help="per-request HTTP timeout (default 30)",
+    )
+    p.add_argument(
+        "--retries", type=int, default=3, metavar="N",
+        help="retries per request on 5xx/connection errors (default 3)",
+    )
+    p.add_argument(
+        "--emit-json", default=None, metavar="DIR",
+        help="write BENCH_<experiment>.json + .csv artifacts to DIR",
+    )
+    add_profile(p)
+    add_opt(p)
+    p.set_defaults(func=cmd_submit)
 
     p = sub.add_parser(
         "top", help="live view over an instrumented run's metrics directory"

@@ -24,6 +24,7 @@ from repro.observability.logs import JsonLogger
 from repro.observability.metrics import (
     DEFAULT_BUCKETS,
     Counter,
+    Gauge,
     Histogram,
     MetricsRegistry,
 )
@@ -35,6 +36,7 @@ from repro.observability.session import (
     aggregate_spans,
     current_session,
     end_session,
+    install_session,
     start_session,
     store_event,
 )
@@ -53,6 +55,7 @@ __all__ = [
     "JsonLogger",
     "DEFAULT_BUCKETS",
     "Counter",
+    "Gauge",
     "Histogram",
     "MetricsRegistry",
     "OBS_SCHEMA_VERSION",
@@ -62,6 +65,7 @@ __all__ = [
     "aggregate_spans",
     "current_session",
     "end_session",
+    "install_session",
     "start_session",
     "store_event",
     "JobSpan",

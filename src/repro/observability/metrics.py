@@ -1,10 +1,13 @@
 """A dependency-free Prometheus-style metrics registry.
 
-Two instrument kinds cover everything the runner needs:
+Three instrument kinds cover everything the runner and the service
+need:
 
 * :class:`Counter` -- a monotonically increasing sum per label set
   (jobs finished, store hits, DIPs enumerated, seconds spent per
   phase);
+* :class:`Gauge` -- a settable/up-down value per label set (service
+  queue depth, in-flight jobs);
 * :class:`Histogram` -- cumulative-bucket distributions per label set
   (job durations, queue latency), with the classic Prometheus
   ``_bucket{le=...}`` / ``_sum`` / ``_count`` exposition.
@@ -114,6 +117,56 @@ class Counter:
         }
 
 
+class Gauge:
+    """A value that can go up, down, or be set outright; per label set."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._series: dict[LabelKey, float] = {}
+
+    def set(self, value: float, **labels: object) -> None:
+        """Set the series selected by ``labels`` to ``value``."""
+        self._series[_label_key(labels)] = float(value)
+
+    def inc(self, value: float = 1.0, **labels: object) -> None:
+        """Add ``value`` (default 1; may be negative) to one series."""
+        key = _label_key(labels)
+        self._series[key] = self._series.get(key, 0.0) + value
+
+    def dec(self, value: float = 1.0, **labels: object) -> None:
+        """Subtract ``value`` (default 1) from one series."""
+        self.inc(-value, **labels)
+
+    def value(self, **labels: object) -> float:
+        """Current value of one series (0 if never touched)."""
+        return self._series.get(_label_key(labels), 0.0)
+
+    def series(self) -> list[tuple[LabelKey, float]]:
+        """All ``(label_key, value)`` pairs, sorted for determinism."""
+        return sorted(self._series.items())
+
+    def render(self) -> list[str]:
+        lines = []
+        if self.help:
+            lines.append(f"# HELP {self.name} {self.help}")
+        lines.append(f"# TYPE {self.name} gauge")
+        for key, value in self.series():
+            lines.append(f"{self.name}{_format_labels(key)} {_format_value(value)}")
+        return lines
+
+    def as_dict(self) -> dict:
+        return {
+            "type": self.kind,
+            "help": self.help,
+            "series": [
+                {"labels": dict(key), "value": value} for key, value in self.series()
+            ],
+        }
+
+
 class Histogram:
     """A cumulative-bucket distribution, one series per label set."""
 
@@ -204,14 +257,18 @@ class Histogram:
 
 
 class MetricsRegistry:
-    """Owns counters and histograms; get-or-create by name."""
+    """Owns counters, gauges, and histograms; get-or-create by name."""
 
     def __init__(self) -> None:
-        self._metrics: dict[str, Counter | Histogram] = {}
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
 
     def counter(self, name: str, help: str = "") -> Counter:
         """Return the counter called ``name``, creating it on first use."""
         return self._get_or_create(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        """Return the gauge called ``name``, creating it on first use."""
+        return self._get_or_create(Gauge, name, help)
 
     def histogram(
         self, name: str, help: str = "", buckets: Iterable[float] | None = None

@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import json
 import sys
+import threading
 import time
 import uuid
 from pathlib import Path
@@ -86,6 +87,10 @@ class ObsSession:
         self.command = command
         self.started_unix = time.time()
         self._t0 = time.perf_counter()
+        self._finalized = False
+        # Guards the span sink and the finalize flag: HTTP handler
+        # threads and the service's job worker emit concurrently.
+        self._lock = threading.Lock()
         self.metrics = MetricsRegistry()
         self.spans: list[dict] = []
         self.metrics_dir = Path(metrics_dir) if metrics_dir else None
@@ -129,13 +134,19 @@ class ObsSession:
             self.logger.log(event, level=level, **fields)
 
     def emit(self, record: dict) -> None:
-        """Stream one span-file record (and retain ``kind: span`` ones)."""
+        """Stream one span-file record (and retain ``kind: span`` ones).
+
+        Thread-safe: a long-lived service emits from its job worker
+        while handler threads read, and interleaved writers must not
+        tear ``spans.jsonl`` lines.
+        """
         record = {"run_id": self.run_id, **record}
-        if record.get("kind") == "span":
-            self.spans.append(record)
-        if self._spans_fh is not None:
-            self._spans_fh.write(json.dumps(record, sort_keys=True) + "\n")
-            self._spans_fh.flush()
+        with self._lock:
+            if record.get("kind") == "span":
+                self.spans.append(record)
+            if self._spans_fh is not None:
+                self._spans_fh.write(json.dumps(record, sort_keys=True) + "\n")
+                self._spans_fh.flush()
 
     # -- summary + teardown --------------------------------------------------
 
@@ -143,8 +154,27 @@ class ObsSession:
         """Aggregate retained spans into the ``BENCH_obs`` table."""
         return aggregate_spans(self.spans)
 
+    def write_metrics(self) -> None:
+        """Snapshot ``metrics.prom`` now (no-op without a metrics dir).
+
+        Long-lived servers call this between requests so ``dynunlock
+        top`` and artifact uploads see live counter state; ``finalize``
+        calls it one last time at teardown.
+        """
+        if self.metrics_dir is not None:
+            (self.metrics_dir / "metrics.prom").write_text(self.metrics.render_prom())
+
     def finalize(self) -> None:
-        """Write ``metrics.prom`` + ``BENCH_obs`` and close every sink."""
+        """Write ``metrics.prom`` + ``BENCH_obs`` and close every sink.
+
+        Idempotent: a long-lived server (or belt-and-braces teardown
+        code) may call it any number of times; only the first call
+        writes and closes anything.
+        """
+        with self._lock:
+            if self._finalized:
+                return
+            self._finalized = True
         wall_s = time.perf_counter() - self._t0
         self.log(
             "run_finished",
@@ -153,7 +183,7 @@ class ObsSession:
             wall_s=round(wall_s, 3),
         )
         if self.metrics_dir is not None:
-            (self.metrics_dir / "metrics.prom").write_text(self.metrics.render_prom())
+            self.write_metrics()
             from repro.runner.artifacts import write_artifact
 
             headers, rows = self.summary()
@@ -171,9 +201,10 @@ class ObsSession:
                     "metrics": self.metrics.as_dict(),
                 },
             )
-        if self._spans_fh is not None:
-            self._spans_fh.close()
-            self._spans_fh = None
+        with self._lock:
+            if self._spans_fh is not None:
+                self._spans_fh.close()
+                self._spans_fh = None
         if self.logger is not None:
             self.logger.close()
             self.logger = None
@@ -188,19 +219,45 @@ def start_session(**kwargs) -> ObsSession:
     return _SESSION
 
 
-def end_session() -> None:
-    """Finalize and clear the process-wide session, if any.
+def install_session(session: ObsSession) -> bool:
+    """Make ``session`` the process-wide session if the slot is free.
+
+    Returns whether it was installed.  Unlike :func:`start_session`
+    this never raises: a long-lived server constructs its session
+    up front and opportunistically publishes it so module-global hooks
+    (:func:`store_event`) flow into it, but tolerates another session
+    already owning the slot (e.g. a test fixture's).
+    """
+    global _SESSION
+    if _SESSION is not None:
+        return False
+    _SESSION = session
+    return True
+
+
+def end_session(session: ObsSession | None = None) -> None:
+    """Finalize ``session`` (default: the current one) and clear the slot.
+
+    Idempotent and re-entrant: calling it twice, calling it with no
+    session active, or calling it with a session that was already
+    replaced are all safe no-ops (finalize itself is idempotent).  The
+    process-wide slot is only cleared when it still holds the session
+    being ended -- so a server tearing down *its* session can never
+    clobber a newer one, the global-clearing hazard class PR 7 fixed
+    for nested CLI invocations.
 
     Finalize runs while the session is still current so the
     ``BENCH_obs`` artifact it writes stamps the session's own run id
     (``run_metadata`` resolves it via :func:`current_session`).
     """
     global _SESSION
-    session = _SESSION
-    if session is not None:
-        try:
-            session.finalize()
-        finally:
+    target = session if session is not None else _SESSION
+    if target is None:
+        return
+    try:
+        target.finalize()
+    finally:
+        if _SESSION is target:
             _SESSION = None
 
 

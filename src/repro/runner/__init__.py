@@ -18,7 +18,7 @@ the cell implementations live in :mod:`repro.reports.cells` and are
 looked up by name inside the worker process.
 """
 
-from repro.runner.artifacts import load_artifact, write_artifact
+from repro.runner.artifacts import load_artifact, normalize_artifact, write_artifact
 from repro.runner.scheduler import JobOutcome, RunReport, run_jobs
 from repro.runner.spec import JobSpec, code_version
 from repro.runner.stores import (
@@ -40,6 +40,7 @@ __all__ = [
     "code_version",
     "load_artifact",
     "migrate",
+    "normalize_artifact",
     "open_store",
     "resolve_backend",
     "run_jobs",

@@ -8,18 +8,39 @@ against the checked-in baseline (``scripts/check_bench_regression.py``);
 :func:`repro.reports.tables.render_artifact` turns either file's data
 back into the paper-style text table.
 
-Every artifact carries two provenance fields on top of the legacy
-``format`` marker (the documented contract lives in
+Every artifact carries the same versioned envelope on top of the
+legacy ``format`` marker (the documented contract lives in
 ``docs/observability.md`` § "Artifact schema"):
 
 * ``schema_version`` -- integer, bumped when the payload layout
   changes.  Version 1 (implicit: the field is absent) had no ``run``
-  block; version 2 adds it.  :func:`load_artifact` accepts any version
-  up to :data:`ARTIFACT_SCHEMA_VERSION` and rejects newer ones, so old
-  readers fail loudly instead of misparsing future layouts.
+  block; version 2 added it; version 3 nests the experiment data
+  under ``payload`` next to a ``kind`` discriminator, so every
+  ``--emit-json`` producer (grid tables, matrix, fuzz, opt, store
+  bench, obs summaries) shares one wire shape with the service layer.
+  :func:`load_artifact` accepts any version up to
+  :data:`ARTIFACT_SCHEMA_VERSION` -- normalising old shapes to the
+  same in-memory view -- and rejects newer ones, so old readers fail
+  loudly instead of misparsing future layouts.
 * ``run`` -- where the artifact came from: a ``run_id`` (shared with
   the observability session's logs/spans when one is active), creation
   time, python/platform, and the source-tree fingerprint prefix.
+
+The v3 envelope::
+
+    {
+      "format": "dynunlock-artifact/1",
+      "schema_version": 3,
+      "kind": "<experiment>",
+      "run": {...provenance...},
+      "payload": {"experiment", "title", "profile",
+                  "headers", "rows", "meta"}
+    }
+
+:func:`load_artifact` always returns the *flattened* view (payload
+keys hoisted to the top level next to the envelope fields), so
+consumers written against v1/v2 artifacts -- including the checked-in
+CI baselines -- keep working unchanged.
 """
 
 from __future__ import annotations
@@ -36,7 +57,10 @@ from typing import Any, Sequence
 ARTIFACT_FORMAT = "dynunlock-artifact/1"
 
 #: Payload layout version; see the module docstring for the history.
-ARTIFACT_SCHEMA_VERSION = 2
+ARTIFACT_SCHEMA_VERSION = 3
+
+#: Keys of the ``payload`` block (v3) / the top level (v1-v2).
+_PAYLOAD_KEYS = ("experiment", "title", "profile", "headers", "rows", "meta")
 
 
 def run_metadata() -> dict[str, Any]:
@@ -73,18 +97,21 @@ def write_artifact(
     """Write the JSON + CSV pair for one finished grid; returns the JSON path."""
     json_path, csv_path = artifact_paths(directory, experiment)
     json_path.parent.mkdir(parents=True, exist_ok=True)
-    payload = {
+    envelope = {
         "format": ARTIFACT_FORMAT,
         "schema_version": ARTIFACT_SCHEMA_VERSION,
+        "kind": experiment,
         "run": run_metadata(),
-        "experiment": experiment,
-        "title": title,
-        "profile": profile,
-        "headers": list(headers),
-        "rows": [list(row) for row in rows],
-        "meta": dict(meta or {}),
+        "payload": {
+            "experiment": experiment,
+            "title": title,
+            "profile": profile,
+            "headers": list(headers),
+            "rows": [list(row) for row in rows],
+            "meta": dict(meta or {}),
+        },
     }
-    json_path.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+    json_path.write_text(json.dumps(envelope, indent=1, sort_keys=True) + "\n")
     with csv_path.open("w", newline="") as handle:
         writer = csv.writer(handle)
         writer.writerow(list(headers))
@@ -92,12 +119,31 @@ def write_artifact(
     return json_path
 
 
+def normalize_artifact(data: dict[str, Any]) -> dict[str, Any]:
+    """Flatten any accepted artifact shape to the v1/v2-style view.
+
+    v3 envelopes get their ``payload`` keys hoisted to the top level
+    (the envelope fields stay); v1/v2 dicts pass through with ``kind``
+    defaulting to the experiment name.  The input dict is not mutated.
+    """
+    flat = {k: v for k, v in data.items() if k != "payload"}
+    payload = data.get("payload")
+    if isinstance(payload, dict):
+        for key in _PAYLOAD_KEYS:
+            if key in payload:
+                flat[key] = payload[key]
+    flat.setdefault("kind", flat.get("experiment"))
+    return flat
+
+
 def load_artifact(path: str | Path) -> dict[str, Any]:
     """Read an artifact JSON back, validating format marker and schema.
 
     Artifacts written before the ``schema_version`` field (version 1,
-    e.g. checked-in baselines) load unchanged; artifacts from a *newer*
-    schema are rejected rather than silently misread.
+    e.g. checked-in baselines) load unchanged; v3 envelopes are
+    flattened via :func:`normalize_artifact` so every consumer sees one
+    shape; artifacts from a *newer* schema are rejected rather than
+    silently misread.
     """
     data = json.loads(Path(path).read_text())
     if data.get("format") != ARTIFACT_FORMAT:
@@ -113,4 +159,4 @@ def load_artifact(path: str | Path) -> dict[str, Any]:
             f"{path} uses artifact schema v{version}; this reader understands "
             f"up to v{ARTIFACT_SCHEMA_VERSION} -- upgrade the repro package"
         )
-    return data
+    return normalize_artifact(data)

@@ -1,0 +1,47 @@
+"""Attack-as-a-service: the repro toolkit behind an HTTP job API.
+
+The ROADMAP's service milestone: many clients, one solver farm.  A
+:class:`~repro.service.server.ReproService` accepts grid/attack/fuzz
+cells as content-hashed :class:`~repro.runner.spec.JobSpec` objects
+over a small versioned JSON protocol (:mod:`repro.service.schema`),
+deduplicates them against both the in-flight window and the shared
+result store (:mod:`repro.service.jobs` -- a million identical
+submissions cost one solve), executes through the same
+:mod:`repro.api` facade the CLI uses (service results are
+byte-identical to in-process results), and exposes job status, span
+streams, and Prometheus metrics from one server-lifetime
+observability session.
+
+Clients live in :mod:`repro.service.client`: a synchronous
+:class:`~repro.service.client.ServiceClient` (retry with jittered
+backoff, compressed bodies) and a background-thread
+:class:`~repro.service.client.BatchingClient` for high-volume
+submitters.  ``dynunlock serve`` / ``dynunlock submit`` are the CLI
+front ends; ``docs/service.md`` documents the protocol.
+"""
+
+from repro.service.client import BatchingClient, ServiceClient, ServiceError
+from repro.service.jobs import JobRecord, JobRegistry
+from repro.service.schema import (
+    JOB_STATES,
+    MAX_BATCH_SPECS,
+    WIRE_SCHEMA_VERSION,
+    WireError,
+    envelope,
+)
+from repro.service.server import ReproService, ServiceHandler
+
+__all__ = [
+    "BatchingClient",
+    "JOB_STATES",
+    "JobRecord",
+    "JobRegistry",
+    "MAX_BATCH_SPECS",
+    "ReproService",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceHandler",
+    "WIRE_SCHEMA_VERSION",
+    "WireError",
+    "envelope",
+]

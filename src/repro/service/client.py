@@ -1,0 +1,355 @@
+"""Clients for the job service: a sync client and a batching client.
+
+:class:`ServiceClient` is the synchronous surface: one urllib-based
+request method with bounded retry (jittered exponential backoff on
+connection errors and 5xx answers -- the transient class; 4xx answers
+are the caller's bug and raise immediately), zlib-compressed request
+bodies, and typed helpers for every endpoint.
+
+:class:`BatchingClient` is the high-volume surface, shaped like the
+background-batching trace-upload clients of hosted observability SDKs:
+``submit`` enqueues a spec onto a bounded queue and returns
+immediately; one daemon thread drains the queue, packing specs into
+batches that flush when full (``batch_size``) or when the queue stays
+quiet for ``linger_s``; ``flush``/``close`` force the buffer out and
+surface any transport error that happened in the background.  The
+bounded queue is deliberate backpressure: a producer that outruns the
+server blocks in ``submit`` rather than growing memory without limit.
+
+Neither client retries *job failures* -- a failed job is a result, not
+a transport error; resubmitting the spec is the retry surface.
+"""
+
+from __future__ import annotations
+
+import json
+import queue
+import random
+import threading
+import time
+import urllib.error
+import urllib.request
+import zlib
+
+from repro.runner.spec import JobSpec
+from repro.service.schema import (
+    WIRE_SCHEMA_VERSION,
+    check_envelope,
+    envelope,
+    spec_to_wire,
+)
+
+
+class ServiceError(RuntimeError):
+    """A request that definitively failed (after retries, if eligible)."""
+
+    def __init__(
+        self, message: str, *, status: int | None = None
+    ) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class ServiceClient:
+    """Synchronous wire client; see the module docstring for semantics."""
+
+    def __init__(
+        self,
+        base_url: str,
+        *,
+        timeout_s: float = 30.0,
+        retries: int = 3,
+        backoff_s: float = 0.05,
+        max_backoff_s: float = 2.0,
+        compress: bool = True,
+        rng: random.Random | None = None,
+    ) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = timeout_s
+        self.retries = max(0, retries)
+        self.backoff_s = backoff_s
+        self.max_backoff_s = max_backoff_s
+        self.compress = compress
+        #: Injectable so tests get deterministic jitter.
+        self.rng = rng if rng is not None else random.Random()
+
+    # -- transport -----------------------------------------------------------
+
+    def _sleep_before_retry(self, attempt: int) -> None:
+        base = min(self.max_backoff_s, self.backoff_s * (2.0**attempt))
+        # Full jitter: uniform in (0, base]; avoids synchronized herds
+        # of clients hammering a recovering server in lockstep.
+        time.sleep(base * (0.5 + 0.5 * self.rng.random()))
+
+    def request_raw(
+        self, method: str, path: str, payload: dict | None = None
+    ) -> tuple[int, bytes, str]:
+        """One request with retry; returns (status, body, content type)."""
+        url = self.base_url + path
+        attempt = 0
+        while True:
+            headers = {"Accept": "application/json"}
+            body = None
+            if payload is not None:
+                body = json.dumps(payload, sort_keys=True).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+                if self.compress:
+                    body = zlib.compress(body)
+                    headers["Content-Encoding"] = "deflate"
+            request = urllib.request.Request(
+                url, data=body, headers=headers, method=method
+            )
+            try:
+                with urllib.request.urlopen(
+                    request, timeout=self.timeout_s
+                ) as response:
+                    return (
+                        response.status,
+                        response.read(),
+                        response.headers.get("Content-Type", ""),
+                    )
+            except urllib.error.HTTPError as exc:
+                detail = self._error_detail(exc)
+                if exc.code >= 500 and attempt < self.retries:
+                    attempt += 1
+                    self._sleep_before_retry(attempt)
+                    continue
+                raise ServiceError(
+                    f"{method} {path} failed with {exc.code}: {detail}",
+                    status=exc.code,
+                ) from None
+            except (urllib.error.URLError, ConnectionError, TimeoutError) as exc:
+                if attempt < self.retries:
+                    attempt += 1
+                    self._sleep_before_retry(attempt)
+                    continue
+                raise ServiceError(
+                    f"{method} {path} unreachable after "
+                    f"{attempt + 1} attempt(s): {exc}"
+                ) from None
+
+    @staticmethod
+    def _error_detail(exc: urllib.error.HTTPError) -> str:
+        try:
+            data = json.loads(exc.read().decode("utf-8"))
+            return str(data.get("error", data))
+        except Exception:
+            return exc.reason if isinstance(exc.reason, str) else repr(exc.reason)
+
+    def request(
+        self, method: str, path: str, payload: dict | None = None, *, kind: str
+    ) -> dict:
+        """One JSON round-trip, envelope-checked against ``kind``."""
+        status, body, _ = self.request_raw(method, path, payload)
+        try:
+            data = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ServiceError(
+                f"{method} {path}: server sent invalid JSON: {exc}",
+                status=status,
+            ) from None
+        check_envelope(data, kind=kind)
+        return data
+
+    # -- endpoints -----------------------------------------------------------
+
+    def health(self) -> dict:
+        return self.request("GET", "/healthz", kind="health")
+
+    def submit(self, specs: list[JobSpec]) -> list[dict]:
+        """Submit a batch; returns the per-spec job views (with dedupe)."""
+        payload = envelope("submit", jobs=[spec_to_wire(s) for s in specs])
+        return self.request("POST", "/v1/jobs", payload, kind="submitted")[
+            "jobs"
+        ]
+
+    def jobs(self) -> list[dict]:
+        return self.request("GET", "/v1/jobs", kind="jobs")["jobs"]
+
+    def job(self, job_id: str) -> dict:
+        return self.request("GET", f"/v1/jobs/{job_id}", kind="job")["job"]
+
+    def result(self, job_id: str) -> dict:
+        """The finished job's result payload (raises on not-done: 409)."""
+        return self.request(
+            "GET", f"/v1/jobs/{job_id}/result", kind="result"
+        )["result"]
+
+    def metrics_text(self) -> str:
+        status, body, _ = self.request_raw("GET", "/metrics")
+        if status != 200:
+            raise ServiceError(f"/metrics answered {status}", status=status)
+        return body.decode("utf-8")
+
+    def spans(self) -> list[dict]:
+        status, body, _ = self.request_raw("GET", "/v1/spans")
+        if status != 200:
+            raise ServiceError(f"/v1/spans answered {status}", status=status)
+        return [
+            json.loads(line)
+            for line in body.decode("utf-8").splitlines()
+            if line.strip()
+        ]
+
+    def wait(
+        self,
+        job_ids: list[str],
+        *,
+        timeout_s: float = 120.0,
+        poll_s: float = 0.05,
+    ) -> dict[str, dict]:
+        """Poll until every id is terminal; returns id -> job view."""
+        deadline = time.monotonic() + timeout_s
+        views: dict[str, dict] = {}
+        pending = list(dict.fromkeys(job_ids))
+        while pending:
+            for job_id in list(pending):
+                view = self.job(job_id)
+                if view["status"] in ("done", "failed"):
+                    views[job_id] = view
+                    pending.remove(job_id)
+            if not pending:
+                break
+            if time.monotonic() > deadline:
+                raise ServiceError(
+                    f"jobs not finished after {timeout_s}s: "
+                    f"{', '.join(pending[:5])}"
+                )
+            time.sleep(poll_s)
+        return views
+
+
+#: Queue sentinels for the batching client's worker loop.
+_STOP = object()
+
+
+class _Flush:
+    def __init__(self) -> None:
+        self.done = threading.Event()
+
+
+class BatchingClient:
+    """Fire-and-forget submission with background batching.
+
+    ``submit`` never talks to the network; the worker thread does, in
+    batches.  Job views accumulate under ``job_views`` (keyed by spec
+    hash) for later polling with a :class:`ServiceClient`.  Transport
+    errors are captured and re-raised by the next ``flush``/``close``.
+    """
+
+    def __init__(
+        self,
+        base_url: str | None = None,
+        *,
+        client: ServiceClient | None = None,
+        batch_size: int = 16,
+        linger_s: float = 0.05,
+        queue_size: int = 1024,
+    ) -> None:
+        if client is None:
+            if base_url is None:
+                raise ValueError("need base_url or a ServiceClient")
+            client = ServiceClient(base_url)
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.client = client
+        self.batch_size = batch_size
+        self.linger_s = linger_s
+        self._queue: queue.Queue = queue.Queue(maxsize=queue_size)
+        self._lock = threading.Lock()
+        self._views: dict[str, dict] = {}
+        self._errors: list[ServiceError] = []
+        self._closed = False
+        self._worker = threading.Thread(
+            target=self._drain, name="repro-batching-client", daemon=True
+        )
+        self._worker.start()
+
+    # -- producer side -------------------------------------------------------
+
+    def submit(self, spec: JobSpec) -> None:
+        """Enqueue one spec (blocks when the bounded queue is full)."""
+        if self._closed:
+            raise RuntimeError("batching client is closed")
+        self._queue.put(spec)
+
+    def flush(self, timeout_s: float = 30.0) -> None:
+        """Push everything enqueued so far; re-raise background errors."""
+        marker = _Flush()
+        self._queue.put(marker)
+        if not marker.done.wait(timeout_s):
+            raise ServiceError(f"flush did not complete within {timeout_s}s")
+        self._raise_pending_error()
+
+    def close(self, timeout_s: float = 30.0) -> None:
+        """Flush the tail, stop the worker, surface any background error."""
+        if self._closed:
+            return
+        self._closed = True
+        self._queue.put(_STOP)
+        self._worker.join(timeout_s)
+        if self._worker.is_alive():
+            raise ServiceError(f"close did not complete within {timeout_s}s")
+        self._raise_pending_error()
+
+    def __enter__(self) -> "BatchingClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @property
+    def job_views(self) -> dict[str, dict]:
+        """spec_hash -> latest job view returned by the server."""
+        with self._lock:
+            return dict(self._views)
+
+    def job_ids(self) -> list[str]:
+        """Distinct job ids submitted so far (post-dedupe), stable order."""
+        with self._lock:
+            return list(
+                dict.fromkeys(v["job_id"] for v in self._views.values())
+            )
+
+    def _raise_pending_error(self) -> None:
+        with self._lock:
+            if self._errors:
+                raise self._errors.pop(0)
+
+    # -- worker side ---------------------------------------------------------
+
+    def _send(self, buffer: list[JobSpec]) -> None:
+        if not buffer:
+            return
+        try:
+            views = self.client.submit(buffer)
+        except ServiceError as exc:
+            with self._lock:
+                self._errors.append(exc)
+            return
+        with self._lock:
+            for spec, view in zip(buffer, views):
+                self._views[spec.spec_hash] = view
+
+    def _drain(self) -> None:
+        buffer: list[JobSpec] = []
+        while True:
+            try:
+                item = self._queue.get(timeout=self.linger_s)
+            except queue.Empty:
+                # Linger expired: whatever has accumulated goes out now.
+                self._send(buffer)
+                buffer = []
+                continue
+            if item is _STOP:
+                self._send(buffer)
+                return
+            if isinstance(item, _Flush):
+                self._send(buffer)
+                buffer = []
+                item.done.set()
+                continue
+            buffer.append(item)
+            if len(buffer) >= self.batch_size:
+                self._send(buffer)
+                buffer = []

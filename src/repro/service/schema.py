@@ -1,0 +1,148 @@
+"""The versioned JSON wire schema shared by the service and its clients.
+
+Every request and response body is one JSON object carrying
+``schema_version`` (an integer, like the artifact envelope's) and
+``kind`` (a discriminator: ``submit``, ``submitted``, ``job``,
+``jobs``, ``result``, ``health``, ``error``).  Versioning the wire
+separately from the artifact schema lets either evolve alone; the
+server rejects versions it does not speak with a 4xx instead of
+guessing.
+
+Request bodies may be raw JSON or zlib-compressed JSON
+(``Content-Encoding: deflate``) -- the batching client compresses by
+default so high-volume submitters pay bandwidth proportional to the
+entropy of their specs, not their count.
+
+Validation errors raise :class:`WireError`, which carries the HTTP
+status the server should answer with.  Everything malformed a client
+can send -- bad compression, bad JSON, a non-object body, an unknown
+``schema_version``, an unknown experiment name -- must land as a 4xx,
+never a 500: a million-user service cannot page an operator because
+one client shipped garbage.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from typing import Any, Mapping
+
+from repro.runner.spec import JobSpec
+
+#: Version of the request/response object layout described above.
+WIRE_SCHEMA_VERSION = 1
+
+#: Lifecycle states a job moves through, in order (failed is terminal
+#: alongside done).
+JOB_STATES = ("queued", "running", "done", "failed")
+
+#: Most specs one POST /v1/jobs may carry; batching clients chunk.
+MAX_BATCH_SPECS = 1024
+
+
+class WireError(ValueError):
+    """A protocol violation the server answers with ``status`` (4xx)."""
+
+    def __init__(self, message: str, *, status: int = 400) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+def envelope(kind: str, **fields: Any) -> dict:
+    """Build one wire object: version + kind + payload fields."""
+    return {"schema_version": WIRE_SCHEMA_VERSION, "kind": kind, **fields}
+
+
+def decode_body(raw: bytes, content_encoding: str | None = None) -> dict:
+    """Decompress + parse one request body into a JSON object.
+
+    Accepts identity and ``deflate`` encodings; anything else is a 415.
+    Undecodable bytes and non-object JSON are 400s.
+    """
+    encoding = (content_encoding or "").strip().lower()
+    if encoding in ("", "identity"):
+        pass
+    elif encoding == "deflate":
+        try:
+            raw = zlib.decompress(raw)
+        except zlib.error as exc:
+            raise WireError(f"bad deflate body: {exc}") from None
+    else:
+        raise WireError(
+            f"unsupported Content-Encoding {encoding!r} (use deflate)",
+            status=415,
+        )
+    try:
+        data = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise WireError(f"body is not valid JSON: {exc}") from None
+    if not isinstance(data, dict):
+        raise WireError(
+            f"body must be a JSON object, got {type(data).__name__}"
+        )
+    return data
+
+
+def check_envelope(data: Mapping[str, Any], *, kind: str) -> None:
+    """Validate version + kind of a parsed wire object (or 4xx)."""
+    version = data.get("schema_version")
+    if not isinstance(version, int) or isinstance(version, bool):
+        raise WireError("missing or non-integer schema_version")
+    if version < 1 or version > WIRE_SCHEMA_VERSION:
+        raise WireError(
+            f"unsupported schema_version {version} "
+            f"(this server speaks <= {WIRE_SCHEMA_VERSION})"
+        )
+    got = data.get("kind")
+    if got != kind:
+        raise WireError(f"expected kind {kind!r}, got {got!r}")
+
+
+def parse_submission(data: Mapping[str, Any]) -> list[JobSpec]:
+    """Validate a ``submit`` envelope into job specs (or raise 4xx).
+
+    Checks shape, batch size, and that every experiment name resolves
+    in the cell registry -- the same registry the worker uses, so a
+    submission that validates here cannot fail on lookup later.
+    """
+    from repro.reports.cells import CELL_RUNNERS
+
+    check_envelope(data, kind="submit")
+    jobs = data.get("jobs")
+    if not isinstance(jobs, list) or not jobs:
+        raise WireError("'jobs' must be a non-empty list of spec objects")
+    if len(jobs) > MAX_BATCH_SPECS:
+        raise WireError(
+            f"batch of {len(jobs)} specs exceeds the limit of "
+            f"{MAX_BATCH_SPECS}; split the submission"
+        )
+    specs: list[JobSpec] = []
+    for i, entry in enumerate(jobs):
+        if not isinstance(entry, dict):
+            raise WireError(f"jobs[{i}] must be an object")
+        experiment = entry.get("experiment")
+        if not isinstance(experiment, str) or not experiment:
+            raise WireError(f"jobs[{i}].experiment must be a non-empty string")
+        if experiment not in CELL_RUNNERS:
+            raise WireError(
+                f"jobs[{i}]: unknown experiment {experiment!r}; "
+                f"known: {', '.join(sorted(CELL_RUNNERS))}"
+            )
+        params = entry.get("params", {})
+        profile = entry.get("profile", {})
+        if not isinstance(params, dict) or not isinstance(profile, dict):
+            raise WireError(f"jobs[{i}].params/.profile must be objects")
+        specs.append(
+            JobSpec(experiment=experiment, params=params, profile=profile)
+        )
+    return specs
+
+
+def spec_to_wire(spec: JobSpec) -> dict:
+    """Serialise one spec for a ``submit`` envelope (client side)."""
+    return spec.to_dict()
+
+
+def submission(specs: list[JobSpec] | tuple[JobSpec, ...]) -> dict:
+    """Build the ``submit`` envelope for a batch of specs (client side)."""
+    return envelope("submit", jobs=[spec_to_wire(s) for s in specs])

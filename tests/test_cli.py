@@ -22,6 +22,24 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["table2", "--profile", "huge"])
 
+    def test_serve_options(self):
+        args = build_parser().parse_args(
+            ["serve", "--port", "0", "--jobs", "2", "--no-resume"]
+        )
+        assert args.port == 0
+        assert args.jobs == 2
+        assert args.resume is False
+
+    def test_submit_options(self):
+        args = build_parser().parse_args(
+            ["submit", "table2", "--url", "http://h:1", "--batch-size", "4"]
+        )
+        assert args.experiment == "table2"
+        assert args.url == "http://h:1"
+        assert args.batch_size == 4
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["submit", "not-a-grid"])
+
 
 class TestCommands:
     def test_list(self, capsys):
@@ -128,9 +146,9 @@ class TestMatrixCommand:
         assert "resilience matrix" in out and "broken" in out
         artifact = tmp_path / "results" / "BENCH_matrix.json"
         assert artifact.is_file()
-        import json
+        from repro.runner.artifacts import load_artifact
 
-        meta = json.loads(artifact.read_text())["meta"]
+        meta = load_artifact(artifact)["meta"]
         assert meta["verdicts"]["scansat|eff"] == "broken"
         assert meta["n_paper_mismatches"] == 0
         assert main(argv) == 0  # second run: served from cache
@@ -166,7 +184,9 @@ class TestFuzzCommand:
              "--emit-json", str(tmp_path)]
         )
         assert code == 0
-        artifact = json.loads((tmp_path / "BENCH_fuzz.json").read_text())
+        from repro.runner.artifacts import load_artifact
+
+        artifact = load_artifact(tmp_path / "BENCH_fuzz.json")
         assert artifact["meta"]["campaign_seed"] == 1
         assert artifact["meta"]["n_trials"] == 4
         assert artifact["meta"]["violations"] == []
@@ -255,7 +275,9 @@ class TestOptCommands:
         # must hold is the artifact shape and outcome stability.
         assert code in (0, 1)
         assert "Optimized vs raw attack pipeline" in captured.out
-        artifact = json.loads((tmp_path / "BENCH_opt.json").read_text())
+        from repro.runner.artifacts import load_artifact
+
+        artifact = load_artifact(tmp_path / "BENCH_opt.json")
         assert artifact["meta"]["outcome_mismatches"] == []
         assert artifact["meta"]["total_no_opt_time_s"] > 0
         assert len(artifact["rows"]) == 1

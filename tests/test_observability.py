@@ -540,11 +540,12 @@ class TestTop:
 
 
 class TestArtifactSchema:
-    def test_v2_layout_pinned(self, tmp_path):
+    def test_v3_layout_pinned(self, tmp_path):
         path = write_artifact(tmp_path, "demo", ["A"], [[1]], title="t")
         data = json.loads(path.read_text())
         assert data["format"] == ARTIFACT_FORMAT
-        assert data["schema_version"] == ARTIFACT_SCHEMA_VERSION == 2
+        assert data["schema_version"] == ARTIFACT_SCHEMA_VERSION == 3
+        assert data["kind"] == "demo"
         run = data["run"]
         assert set(run) == {
             "run_id",
@@ -555,7 +556,40 @@ class TestArtifactSchema:
         }
         assert len(run["run_id"]) == 12
         assert len(run["code_version"]) == 20
-        assert load_artifact(path)["rows"] == [[1]]
+        # The experiment data lives under one payload block on disk...
+        assert set(data["payload"]) == {
+            "experiment",
+            "title",
+            "profile",
+            "headers",
+            "rows",
+            "meta",
+        }
+        assert data["payload"]["rows"] == [[1]]
+        # ...and load_artifact flattens it to the v1/v2-style view.
+        loaded = load_artifact(path)
+        assert loaded["rows"] == [[1]]
+        assert loaded["experiment"] == "demo"
+        assert loaded["kind"] == "demo"
+        assert "payload" not in loaded
+
+    def test_v2_shape_normalizes_with_kind_default(self, tmp_path):
+        path = tmp_path / "v2.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "format": ARTIFACT_FORMAT,
+                    "schema_version": 2,
+                    "experiment": "demo",
+                    "headers": ["A"],
+                    "rows": [[1]],
+                    "meta": {},
+                }
+            )
+        )
+        loaded = load_artifact(path)
+        assert loaded["rows"] == [[1]]
+        assert loaded["kind"] == "demo"
 
     def test_artifact_inherits_session_run_id(self, tmp_path):
         session = start_session(command="test")

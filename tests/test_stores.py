@@ -22,6 +22,7 @@ from hypothesis import strategies as st
 
 from repro.cli import main
 from repro.reports.profiles import ExperimentProfile
+from repro.runner.artifacts import load_artifact
 from repro.runner.spec import JobSpec
 from repro.runner.stores import (
     BACKENDS,
@@ -521,7 +522,7 @@ class TestCrossBackendRuns:
     ]
 
     def _artifact(self, path):
-        data = json.loads(path.read_text())
+        data = load_artifact(path)
         return data["headers"], data["rows"], data["title"]
 
     def test_matrix_rows_and_artifacts_identical_across_backends(
@@ -554,9 +555,7 @@ class TestCrossBackendRuns:
             ]
             assert main(argv) == 0
             tables[name] = capsys.readouterr().out
-            artifact = json.loads(
-                (outs[name] / "BENCH_matrix.json").read_text()
-            )
+            artifact = load_artifact(outs[name] / "BENCH_matrix.json")
             assert artifact["meta"]["n_computed"] == 0
             assert artifact["meta"]["n_cached"] == artifact["meta"]["n_jobs_total"]
             artifacts[name] = self._artifact(outs[name] / "BENCH_matrix.json")
@@ -580,7 +579,7 @@ class TestCrossBackendRuns:
             ]
             assert main(argv) == 0
             tables[name] = capsys.readouterr().out
-            data = json.loads((out / "BENCH_fuzz.json").read_text())
+            data = load_artifact(out / "BENCH_fuzz.json")
             artifacts[name] = (
                 data["headers"], data["rows"], data["meta"]["violations"]
             )
@@ -626,7 +625,7 @@ class TestStoreBenchCommand:
         ]) == 0
         out = capsys.readouterr().out
         assert "Result-store head-to-head" in out
-        data = json.loads((tmp_path / "BENCH_store.json").read_text())
+        data = load_artifact(tmp_path / "BENCH_store.json")
         assert [row[0] for row in data["rows"]] == ALL_BACKENDS
         meta = data["meta"]
         assert meta["default_backend"] == "json"
