@@ -36,18 +36,14 @@ def _faulty_copy(netlist: Netlist, fault: StuckAtFault, prefix: str) -> Netlist:
     target = prefix + fault.net
     const = GateType.CONST1 if fault.stuck_value else GateType.CONST0
     if target in copy.gates:
-        gate = copy.gates.pop(target)
-        copy._drivers.discard(target)  # re-drive the net with the constant
+        gate = copy.remove_gate(target)  # releases the driver claim
         copy.add_gate(f"{target}__prefault", gate.gtype, gate.inputs)
         copy.add_gate(target, const, [])
     elif target in [prefix + n for n in netlist.inputs]:
-        copy.inputs.remove(target)
-        copy._drivers.discard(target)
+        copy.remove_input(target)
         copy.add_gate(target, const, [])
     else:
         raise NetlistError(f"fault site {fault.net!r} not found")
-    # Invalidate the topological cache mutated above.
-    copy._topo_cache = None
     return copy
 
 

@@ -13,7 +13,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterator, Sequence
 
-import numpy as np
+try:  # optional: gated so the numpy-less scalar paths can import repro
+    import numpy as np
+except Exception:  # pragma: no cover - exercised by the numpy-less CI leg
+    np = None  # type: ignore[assignment]
 
 from repro.gf2.matrix import GF2Matrix
 

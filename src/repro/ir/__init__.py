@@ -1,0 +1,35 @@
+"""repro.ir -- flat integer-array netlist IR and vectorized lane engine.
+
+Layering: sits directly above :mod:`repro.netlist` (it imports Gate /
+GateType / Netlist) and below everything else; consumers (`sim`, `sat`,
+`opt`) reach it through :func:`ir_for` and check :func:`enabled` to pick
+between the array engines and the original pure-Python walks.  numpy is
+optional throughout -- :data:`HAVE_NUMPY` reports whether the vectorized
+word engine is available.
+"""
+
+from repro.ir.core import (
+    GT_CODE,
+    GT_LIST,
+    ArrayNetlist,
+    enabled,
+    from_netlist,
+    ir_for,
+    set_enabled,
+    to_netlist,
+)
+from repro.ir.lanes import HAVE_NUMPY, WordEngine, word_engine_for
+
+__all__ = [
+    "ArrayNetlist",
+    "GT_CODE",
+    "GT_LIST",
+    "HAVE_NUMPY",
+    "WordEngine",
+    "enabled",
+    "from_netlist",
+    "ir_for",
+    "set_enabled",
+    "to_netlist",
+    "word_engine_for",
+]

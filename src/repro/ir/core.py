@@ -1,0 +1,391 @@
+"""The flat integer-array netlist IR.
+
+:class:`ArrayNetlist` is a lossless, order-stable array view of a
+:class:`~repro.netlist.netlist.Netlist`: every net gets a dense integer
+id, gates become parallel ``gate_type``/``gate_out`` arrays with their
+operands packed into one flat ``fanin`` array behind a ``fanin_offset``
+table (fixed-arity and variadic gates share the layout), and the
+interface -- primary inputs/outputs, DFF D/Q pins -- is a set of integer
+index tables.  Conversion never re-orders anything: net ids are assigned
+in a canonical first-seen order (inputs, flop Q nets, gate outputs in
+insertion order, then remaining referenced nets), and
+:func:`to_netlist` rebuilds a netlist whose insertion orders, names and
+operand tuples are identical to the source -- the round-trip property
+the hypothesis suite pins.
+
+Everything the hot paths used to do by walking ``dict``-of-``Gate``
+structures is an integer-array walk here:
+
+* :meth:`ArrayNetlist.topological_order` -- Kahn's algorithm over int
+  arrays, producing *exactly* the order the pure-Python walk produces
+  (the rewrite passes' CSE naming depends on it);
+* :meth:`ArrayNetlist.fanout` -- CSR-packed net -> reader-gate indices;
+* :meth:`ArrayNetlist.read_counts` / :meth:`ArrayNetlist.cone_keep` --
+  the array substrates under ``opt.structhash`` and ``opt.sweep``.
+
+:func:`ir_for` caches one ``ArrayNetlist`` per netlist object, keyed on
+the netlist's mutation :attr:`~repro.netlist.netlist.Netlist.version`,
+so the conversion cost is paid once per settled netlist and shared by
+the simulator, the Tseitin compiler and the optimizer passes.
+
+The module is stdlib-only; numpy acceleration lives in
+:mod:`repro.ir.lanes` behind an optional import.
+"""
+
+from __future__ import annotations
+
+import os
+from array import array
+from dataclasses import dataclass, field
+from weakref import WeakKeyDictionary
+
+from repro.netlist.gates import GateType
+from repro.netlist.netlist import Dff, Gate, Netlist, NetlistError
+
+#: Stable GateType <-> small-int code tables (definition order).
+GT_LIST: tuple[GateType, ...] = tuple(GateType)
+GT_CODE: dict[GateType, int] = {gt: i for i, gt in enumerate(GT_LIST)}
+
+_FORCED: bool | None = None
+
+
+def enabled() -> bool:
+    """Is the array IR the active engine for the hot paths?
+
+    Defaults to on; ``REPRO_IR=0`` (or ``off``/``false``/``no``) selects
+    the pure dict-walking implementations -- the comparison arm
+    ``dynunlock ir-bench`` measures against.  :func:`set_enabled`
+    overrides the environment for in-process benchmarking.
+    """
+    if _FORCED is not None:
+        return _FORCED
+    return os.environ.get("REPRO_IR", "").strip().lower() not in (
+        "0",
+        "off",
+        "false",
+        "no",
+    )
+
+
+def set_enabled(value: bool | None) -> None:
+    """Force the IR on/off in-process (``None`` = defer to ``$REPRO_IR``)."""
+    global _FORCED
+    _FORCED = value
+
+
+@dataclass
+class ArrayNetlist:
+    """Flat array view of one netlist (see the module docstring).
+
+    All arrays are ``array('i')`` except ``gate_type`` (``array('b')``).
+    ``gates`` keeps the source :class:`Gate` objects aligned with the
+    gate arrays so array-ordered walks can hand the original objects to
+    code that still consumes them (the structural-hash rewriter).
+    """
+
+    name: str
+    names: list[str]  # net id -> name
+    index: dict[str, int]  # name -> net id
+    pi: array  # primary-input net ids, in order
+    po: array  # primary-output net ids, in order
+    dff_q: array  # flop Q net ids, canonical flop order
+    dff_d: array  # flop D net ids, aligned with dff_q
+    gate_type: array  # per gate: GT_CODE of its GateType
+    gate_out: array  # per gate: output net id
+    fanin_offset: array  # len n_gates+1; gate g reads fanin[off[g]:off[g+1]]
+    fanin: array  # flat operand net ids
+    gates: tuple  # aligned source Gate objects
+    source_version: int = 0
+    _topo: array | None = field(default=None, repr=False)
+    _fanout_offset: array | None = field(default=None, repr=False)
+    _fanout: array | None = field(default=None, repr=False)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_nets(self) -> int:
+        return len(self.names)
+
+    @property
+    def n_gates(self) -> int:
+        return len(self.gate_out)
+
+    # ------------------------------------------------------------------
+    # topological order
+    # ------------------------------------------------------------------
+    def topological_order(self) -> array:
+        """Gate indices in dependency order (cached).
+
+        Mirrors the pure ``Netlist.topological_gates`` walk instruction
+        for instruction -- same ready/consumer discipline, hence the
+        same emitted order -- so the two engines are interchangeable
+        without perturbing any downstream naming or encoding.
+        """
+        if self._topo is not None:
+            return self._topo
+        n_gates = self.n_gates
+        gate_out = self.gate_out.tolist()
+        driver = [-1] * self.n_nets  # net id -> driving gate index
+        for gi, out in enumerate(gate_out):
+            driver[out] = gi
+        resolved = bytearray(self.n_nets)
+        for nid in self.pi:
+            resolved[nid] = 1
+        for nid in self.dff_q:
+            resolved[nid] = 1
+
+        # Walk plain lists: array('i') getitem boxes on every read, which
+        # dominates these tight loops.
+        fanin = self.fanin.tolist()
+        offsets = self.fanin_offset.tolist()
+        pending = [0] * n_gates
+        consumers: list[list[int]] = [[] for _ in range(n_gates)]
+        ready: list[int] = []
+        for gi in range(n_gates):
+            unresolved = 0
+            for k in range(offsets[gi], offsets[gi + 1]):
+                nid = fanin[k]
+                producer = driver[nid]
+                if producer >= 0 and not resolved[nid]:
+                    unresolved += 1
+                    consumers[producer].append(gi)
+            if unresolved == 0:
+                ready.append(gi)
+            else:
+                pending[gi] = unresolved
+
+        order: list[int] = []
+        cursor = 0
+        while cursor < len(ready):
+            gi = ready[cursor]
+            cursor += 1
+            order.append(gi)
+            for consumer in consumers[gi]:
+                pending[consumer] -= 1
+                if pending[consumer] == 0:
+                    ready.append(consumer)
+
+        if len(order) != n_gates:
+            emitted = bytearray(n_gates)
+            for gi in order:
+                emitted[gi] = 1
+            stuck = sorted(
+                self.names[gate_out[gi]]
+                for gi in range(n_gates)
+                if not emitted[gi]
+            )
+            raise NetlistError(
+                f"combinational cycle involving nets {stuck[:10]}"
+                + ("..." if len(stuck) > 10 else "")
+            )
+        self._topo = array("i", order)
+        return self._topo
+
+    def topological_gate_objects(self) -> list[Gate]:
+        """The source Gate objects in :meth:`topological_order`."""
+        gates = self.gates
+        return [gates[gi] for gi in self.topological_order()]
+
+    # ------------------------------------------------------------------
+    # fanout / read counts / cone of influence
+    # ------------------------------------------------------------------
+    def fanout(self) -> tuple[array, array]:
+        """CSR map net id -> indices of gates reading it (cached).
+
+        ``(offsets, readers)``: net ``n`` is read by gate indices
+        ``readers[offsets[n]:offsets[n+1]]``, ascending (gate insertion
+        order), with multiplicity for repeated operands -- the same
+        multiset ``Netlist.fanout_map`` builds as dict-of-lists.
+        """
+        if self._fanout_offset is not None:
+            assert self._fanout is not None
+            return self._fanout_offset, self._fanout
+        fanin = self.fanin.tolist()
+        counts = [0] * (self.n_nets + 1)
+        for nid in fanin:
+            counts[nid + 1] += 1
+        offsets = counts
+        for i in range(1, len(offsets)):
+            offsets[i] += offsets[i - 1]
+        readers = [0] * len(fanin)
+        cursor = offsets[:-1]
+        gate_offsets = self.fanin_offset.tolist()
+        for gi in range(self.n_gates):
+            for k in range(gate_offsets[gi], gate_offsets[gi + 1]):
+                nid = fanin[k]
+                readers[cursor[nid]] = gi
+                cursor[nid] += 1
+        # cursor aliased offsets[:-1] as a copy, so offsets is intact here
+        self._fanout_offset = array("i", offsets)
+        self._fanout = array("i", readers)
+        return self._fanout_offset, self._fanout
+
+    def read_counts(self) -> dict[str, int]:
+        """Sink count per net name: gate reads + DFF D pins + outputs.
+
+        Array equivalent of ``opt.structhash._read_counts`` -- nets with
+        zero sinks are omitted, multiplicities match.
+        """
+        counts = [0] * self.n_nets
+        for nid in self.fanin.tolist():
+            counts[nid] += 1
+        for nid in self.dff_d:
+            counts[nid] += 1
+        for nid in self.po:
+            counts[nid] += 1
+        names = self.names
+        return {names[nid]: c for nid, c in enumerate(counts) if c}
+
+    def cone_keep(self, pinned: frozenset[str] = frozenset()) -> set[str]:
+        """Gate-output net names reachable backwards from the roots.
+
+        Roots are primary outputs, DFF D pins, and ``pinned`` names
+        (unknown pinned names are ignored, like the dict walk).  Array
+        equivalent of ``opt.sweep.cone_of_influence``.
+        """
+        gate_out = self.gate_out.tolist()
+        driver = [-1] * self.n_nets
+        for gi, out in enumerate(gate_out):
+            driver[out] = gi
+        keep = bytearray(self.n_gates)
+        stack: list[int] = []
+        for nid in self.po:
+            if driver[nid] >= 0:
+                stack.append(driver[nid])
+        for nid in self.dff_d:
+            if driver[nid] >= 0:
+                stack.append(driver[nid])
+        for name in pinned:
+            nid = self.index.get(name)
+            if nid is not None and driver[nid] >= 0:
+                stack.append(driver[nid])
+        fanin = self.fanin.tolist()
+        offsets = self.fanin_offset.tolist()
+        while stack:
+            gi = stack.pop()
+            if keep[gi]:
+                continue
+            keep[gi] = 1
+            for k in range(offsets[gi], offsets[gi + 1]):
+                producer = driver[fanin[k]]
+                if producer >= 0 and not keep[producer]:
+                    stack.append(producer)
+        names = self.names
+        return {names[gate_out[gi]] for gi in range(self.n_gates) if keep[gi]}
+
+
+# ----------------------------------------------------------------------
+# conversion
+# ----------------------------------------------------------------------
+def from_netlist(netlist: Netlist) -> ArrayNetlist:
+    """Convert a :class:`Netlist` into its flat array view (one pass)."""
+    names: list[str] = []
+    index: dict[str, int] = {}
+
+    def nid(name: str) -> int:
+        existing = index.get(name)
+        if existing is not None:
+            return existing
+        new = len(names)
+        index[name] = new
+        names.append(name)
+        return new
+
+    pi = array("i", (nid(n) for n in netlist.inputs))
+    dff_q = array("i", (nid(q) for q in netlist.dffs))
+    gate_list = tuple(netlist.gates.values())
+    gate_out = array("i", (nid(g.output) for g in gate_list))
+    gate_type = array("b", (GT_CODE[g.gtype] for g in gate_list))
+    # The operand walk is the conversion hot loop; inline the id lookup.
+    fanin_ids: list[int] = []
+    append = fanin_ids.append
+    index_get = index.get
+    fanin_offset = array("i", [0])
+    offset_append = fanin_offset.append
+    for gate in gate_list:
+        for operand in gate.inputs:
+            i = index_get(operand)
+            if i is None:
+                i = len(names)
+                index[operand] = i
+                names.append(operand)
+            append(i)
+        offset_append(len(fanin_ids))
+    fanin = array("i", fanin_ids)
+    dff_d = array("i", (nid(netlist.dffs[q].d) for q in netlist.dffs))
+    po = array("i", (nid(n) for n in netlist.outputs))
+    return ArrayNetlist(
+        name=netlist.name,
+        names=names,
+        index=index,
+        pi=pi,
+        po=po,
+        dff_q=dff_q,
+        dff_d=dff_d,
+        gate_type=gate_type,
+        gate_out=gate_out,
+        fanin_offset=fanin_offset,
+        fanin=fanin,
+        gates=gate_list,
+        source_version=netlist.version,
+    )
+
+
+def to_netlist(ir: ArrayNetlist) -> Netlist:
+    """Rebuild a :class:`Netlist` from the array view.
+
+    Insertion orders (inputs, flops, gates, outputs), net names and
+    operand tuples all round-trip exactly; ``from_netlist`` then
+    ``to_netlist`` is the identity up to object identity.
+    """
+    names = ir.names
+    netlist = Netlist(name=ir.name)
+    for nid in ir.pi:
+        netlist.add_input(names[nid])
+    for q, d in zip(ir.dff_q, ir.dff_d):
+        netlist.add_dff(q=names[q], d=names[d])
+    offsets, fanin = ir.fanin_offset, ir.fanin
+    for gi in range(ir.n_gates):
+        netlist.add_gate(
+            names[ir.gate_out[gi]],
+            GT_LIST[ir.gate_type[gi]],
+            [names[fanin[k]] for k in range(offsets[gi], offsets[gi + 1])],
+        )
+    for nid in ir.po:
+        netlist.add_output(names[nid])
+    return netlist
+
+
+# ----------------------------------------------------------------------
+# per-netlist cache
+# ----------------------------------------------------------------------
+_IR_CACHE: "WeakKeyDictionary[Netlist, ArrayNetlist]" = WeakKeyDictionary()
+
+
+def ir_for(netlist: Netlist) -> ArrayNetlist:
+    """Cached :func:`from_netlist`.
+
+    Keyed on the netlist object *and* its mutation counter: any mutator
+    call (including interface-only ones like ``add_output``) bumps
+    ``netlist.version`` and invalidates the cached view, so a stale IR
+    can never be served after in-place edits -- the failure mode the
+    PR-5-era topo/fanout caches had on non-``add_gate`` mutations.
+    """
+    cached = _IR_CACHE.get(netlist)
+    if cached is not None and cached.source_version == netlist.version:
+        return cached
+    built = from_netlist(netlist)
+    _IR_CACHE[netlist] = built
+    return built
+
+
+__all__ = [
+    "ArrayNetlist",
+    "Dff",
+    "GT_CODE",
+    "GT_LIST",
+    "enabled",
+    "from_netlist",
+    "ir_for",
+    "set_enabled",
+    "to_netlist",
+]

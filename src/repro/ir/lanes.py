@@ -1,0 +1,211 @@
+"""numpy-vectorized packed-lane evaluation over the array IR.
+
+The scalar packed engine in :mod:`repro.sim.logicsim` evaluates one
+Python bitwise instruction per gate per 64-lane word.  This module
+compiles the same instruction list into a *leveled word program*:
+
+* every variadic gate is decomposed into a chain of binary micro-ops
+  (aux slots live past the named slots, invisible to callers);
+* each micro-op gets a level = 1 + max(level of its operands), so all
+  micro-ops at one level are mutually independent;
+* micro-ops are grouped by ``(level, opcode)`` into index arrays.
+
+Evaluation walks levels in order and executes each group as one fancy-
+indexed numpy expression over a ``(n_slots, n_words)`` ``uint64`` state
+matrix -- ``n_words`` packed 64-lane words per net evaluated per Python
+bytecode, instead of one.  The per-word lane masks are broadcast down
+the rows, so partial final words mask exactly like the scalar engine
+and results are bit-identical ints either way.
+
+numpy is optional: :data:`HAVE_NUMPY` is False when it is absent and
+:func:`word_engine_for` returns ``None``, leaving the scalar engine as
+the only (and still correct) path.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+try:  # optional dependency: the scalar engine needs nothing beyond stdlib
+    import numpy as np
+except Exception:  # pragma: no cover - exercised by the numpy-less CI leg
+    np = None  # type: ignore[assignment]
+
+from repro.netlist.gates import GateType
+
+HAVE_NUMPY = np is not None
+
+# Binary/unary micro-opcodes of the leveled word program.
+_AND2, _NAND2, _OR2, _NOR2, _XOR2, _XNOR2, _NOT1, _BUF1, _MUX3, _C0, _C1 = range(11)
+
+_FOLD_OP = {
+    GateType.AND: _AND2,
+    GateType.NAND: _AND2,
+    GateType.OR: _OR2,
+    GateType.NOR: _OR2,
+    GateType.XOR: _XOR2,
+    GateType.XNOR: _XOR2,
+}
+_FINAL_OP = {
+    GateType.AND: _AND2,
+    GateType.NAND: _NAND2,
+    GateType.OR: _OR2,
+    GateType.NOR: _NOR2,
+    GateType.XOR: _XOR2,
+    GateType.XNOR: _XNOR2,
+}
+
+#: Minimum ``run_patterns`` batch size routed through the word engine.
+#: Below this, straight-line scalar evaluation wins: per-op numpy
+#: dispatch plus matrix set-up costs more than it saves on one narrow
+#: word (measured on the quick Table II locked models).
+MIN_ENGINE_PATTERNS = 16
+
+
+class WordEngine:
+    """Compiled leveled word program for one packed-lane instruction list.
+
+    Built from the ``(GateType, out_slot, in_slots)`` program of a
+    :class:`~repro.sim.logicsim.BitParallelSimulator`; slots
+    ``0..n_free-1`` are the free nets (primary inputs + flop Qs), the
+    remaining named slots are gate outputs in topological order, and aux
+    slots for decomposed variadic chains follow past ``n_named``.
+    """
+
+    def __init__(
+        self,
+        n_free: int,
+        n_named: int,
+        n_slots: int,
+        groups: list[tuple],
+        avg_level_width: float,
+    ):
+        self.n_free = n_free
+        self.n_named = n_named
+        self.n_slots = n_slots
+        self._groups = groups
+        self.avg_level_width = avg_level_width
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def compile(
+        cls,
+        program: Sequence[tuple[GateType, int, tuple[int, ...]]],
+        n_free: int,
+        n_named: int,
+    ) -> "WordEngine":
+        assert np is not None
+        level = [0] * n_named  # slot -> write level (free slots: 0)
+        # micro-ops per opcode+level: opcode -> level -> [out, a, b(, c)]
+        ops: list[tuple[int, int, int, int, int]] = []
+        n_slots = n_named
+
+        def emit(opcode: int, out: int, a: int = -1, b: int = -1, c: int = -1) -> int:
+            operands = [x for x in (a, b, c) if x >= 0]
+            lvl = 1 + max((level[x] for x in operands), default=0)
+            if out >= len(level):
+                level.extend([0] * (out + 1 - len(level)))
+            level[out] = lvl
+            ops.append((opcode, out, a, b, c))
+            return out
+
+        def aux() -> int:
+            nonlocal n_slots
+            slot = n_slots
+            n_slots += 1
+            return slot
+
+        for gtype, out, ins in program:
+            if gtype in _FOLD_OP:
+                if len(ins) == 2:
+                    emit(_FINAL_OP[gtype], out, ins[0], ins[1])
+                else:
+                    fold = _FOLD_OP[gtype]
+                    acc = emit(fold, aux(), ins[0], ins[1])
+                    for operand in ins[2:-1]:
+                        acc = emit(fold, aux(), acc, operand)
+                    emit(_FINAL_OP[gtype], out, acc, ins[-1])
+            elif gtype is GateType.NOT:
+                emit(_NOT1, out, ins[0])
+            elif gtype is GateType.BUF:
+                emit(_BUF1, out, ins[0])
+            elif gtype is GateType.MUX:
+                emit(_MUX3, out, ins[0], ins[1], ins[2])
+            elif gtype is GateType.CONST0:
+                emit(_C0, out)
+            else:  # CONST1
+                emit(_C1, out)
+
+        buckets: dict[tuple[int, int], list[tuple[int, int, int, int]]] = {}
+        for opcode, out, a, b, c in ops:
+            buckets.setdefault((level[out], opcode), []).append((out, a, b, c))
+        groups = []
+        for (lvl, opcode), rows in sorted(buckets.items()):
+            out_idx = np.array([r[0] for r in rows], dtype=np.intp)
+            a_idx = np.array([r[1] for r in rows], dtype=np.intp)
+            b_idx = np.array([r[2] for r in rows], dtype=np.intp)
+            c_idx = np.array([r[3] for r in rows], dtype=np.intp)
+            groups.append((lvl, opcode, out_idx, a_idx, b_idx, c_idx))
+        n_levels = len({lvl for lvl, _ in buckets}) or 1
+        avg_width = len(ops) / n_levels
+        return cls(n_free, n_named, n_slots, groups, avg_width)
+
+    # ------------------------------------------------------------------
+    def eval_words(
+        self, input_rows: "np.ndarray", masks: "np.ndarray"
+    ) -> "np.ndarray":
+        """Run the word program.
+
+        ``input_rows``: ``(n_free, n_words)`` uint64, already lane-masked.
+        ``masks``: ``(n_words,)`` uint64 lane masks (all-ones except a
+        partial final word).  Returns the full ``(n_slots, n_words)``
+        state; callers slice the named rows they need.
+        """
+        assert np is not None
+        n_words = input_rows.shape[1]
+        state = np.zeros((self.n_slots, n_words), dtype=np.uint64)
+        state[: self.n_free] = input_rows
+        for _lvl, opcode, out_idx, a_idx, b_idx, c_idx in self._groups:
+            if opcode == _AND2:
+                state[out_idx] = state[a_idx] & state[b_idx]
+            elif opcode == _NAND2:
+                state[out_idx] = (state[a_idx] & state[b_idx]) ^ masks
+            elif opcode == _OR2:
+                state[out_idx] = state[a_idx] | state[b_idx]
+            elif opcode == _NOR2:
+                state[out_idx] = (state[a_idx] | state[b_idx]) ^ masks
+            elif opcode == _XOR2:
+                state[out_idx] = state[a_idx] ^ state[b_idx]
+            elif opcode == _XNOR2:
+                state[out_idx] = (state[a_idx] ^ state[b_idx]) ^ masks
+            elif opcode == _NOT1:
+                state[out_idx] = state[a_idx] ^ masks
+            elif opcode == _BUF1:
+                state[out_idx] = state[a_idx]
+            elif opcode == _MUX3:
+                sel = state[a_idx]
+                state[out_idx] = (state[b_idx] & ~sel) | (state[c_idx] & sel)
+            elif opcode == _C0:
+                state[out_idx] = 0
+            else:  # _C1
+                state[out_idx] = masks
+        return state
+
+
+def word_engine_for(
+    program: Sequence[tuple[GateType, int, tuple[int, ...]]],
+    n_free: int,
+    n_named: int,
+) -> WordEngine | None:
+    """Compile a :class:`WordEngine`, or ``None`` when numpy is absent."""
+    if np is None:
+        return None
+    return WordEngine.compile(program, n_free, n_named)
+
+
+__all__ = [
+    "HAVE_NUMPY",
+    "MIN_ENGINE_PATTERNS",
+    "WordEngine",
+    "word_engine_for",
+]

@@ -56,6 +56,7 @@ class Netlist:
         self.gates: dict[str, Gate] = {}  # keyed by output net
         self.dffs: dict[str, Dff] = {}  # keyed by Q net
         self._drivers: set[str] = set()
+        self._version = 0
         self._topo_cache: list[Gate] | None = None
         self._fanout_cache: dict[str, list[Gate]] | None = None
 
@@ -65,12 +66,51 @@ class Netlist:
     def add_input(self, net: str) -> str:
         self._claim_driver(net, "primary input")
         self.inputs.append(net)
+        self._invalidate_caches()
         return net
 
     def add_output(self, net: str) -> str:
         if net in self.outputs:
             raise NetlistError(f"net {net!r} is already a primary output")
         self.outputs.append(net)
+        self._invalidate_caches()
+        return net
+
+    def set_outputs(self, nets: Sequence[str]) -> None:
+        """Replace the primary-output list (order-sensitive, no duplicates).
+
+        The supported way to retarget outputs in place -- assigning
+        ``netlist.outputs`` directly bypasses cache/version invalidation
+        and can serve stale derived structures (fanout, array IR) to
+        later callers.
+        """
+        nets = list(nets)
+        if len(set(nets)) != len(nets):
+            raise NetlistError(f"duplicate primary outputs in {nets!r}")
+        self.outputs = nets
+        self._invalidate_caches()
+
+    def remove_gate(self, output: str) -> Gate:
+        """Remove (and return) the gate driving ``output``.
+
+        Releases the driver claim so the net can be re-driven -- the
+        fault-injection transform in :mod:`repro.atpg` rebuilds faulted
+        nets this way.  All derived caches are invalidated.
+        """
+        gate = self.gates.pop(output, None)
+        if gate is None:
+            raise NetlistError(f"no gate drives net {output!r}")
+        self._drivers.discard(output)
+        self._invalidate_caches()
+        return gate
+
+    def remove_input(self, net: str) -> str:
+        """Remove a primary input, releasing its driver claim."""
+        if net not in self.inputs:
+            raise NetlistError(f"net {net!r} is not a primary input")
+        self.inputs.remove(net)
+        self._drivers.discard(net)
+        self._invalidate_caches()
         return net
 
     def add_gate(self, output: str, gtype: GateType, inputs: Sequence[str]) -> Gate:
@@ -88,8 +128,21 @@ class Netlist:
         return dff
 
     def _invalidate_caches(self) -> None:
+        self._version += 1
         self._topo_cache = None
         self._fanout_cache = None
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter.
+
+        Bumped by *every* mutator (``add_input``/``add_output``/
+        ``add_gate``/``add_dff``/``set_outputs``/``remove_*``), so
+        derived caches -- the array IR, compiled simulators -- can pair
+        a cached structure with the netlist state it was built from and
+        never serve a stale view after an interface-only mutation.
+        """
+        return self._version
 
     def _claim_driver(self, net: str, kind: str) -> None:
         if net in self._drivers:
@@ -169,6 +222,17 @@ class Netlist:
         """
         if self._topo_cache is not None:
             return self._topo_cache
+
+        # The array IR computes the identical order over flat int
+        # arrays (lazy import: repro.ir sits above this module).
+        from repro.ir import enabled as _ir_enabled
+
+        if _ir_enabled():
+            from repro.ir import ir_for
+
+            order = ir_for(self).topological_gate_objects()
+            self._topo_cache = order
+            return order
 
         resolved: set[str] = set(self.inputs) | set(self.dffs)
         pending: dict[str, int] = {}

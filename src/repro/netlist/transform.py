@@ -117,7 +117,8 @@ def strip_outputs(netlist: Netlist, keep: Iterable[str]) -> Netlist:
     if missing:
         raise NetlistError(f"cannot keep non-outputs: {sorted(missing)}")
     clone = copy_netlist(netlist)
-    clone.outputs = [net for net in clone.outputs if net in keep_set]
+    # set_outputs (not direct assignment) so derived caches invalidate.
+    clone.set_outputs([net for net in clone.outputs if net in keep_set])
     return clone
 
 

@@ -10,7 +10,10 @@ from __future__ import annotations
 
 from typing import Sequence
 
-import numpy as np
+try:  # optional: gated so the numpy-less scalar paths can import repro
+    import numpy as np
+except Exception:  # pragma: no cover - exercised by the numpy-less CI leg
+    np = None  # type: ignore[assignment]
 
 from repro.gf2.matrix import GF2Matrix
 

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from typing import Mapping, Sequence
 from weakref import WeakKeyDictionary
 
+from repro.ir import GT_LIST, enabled as _ir_enabled, ir_for
 from repro.netlist.gates import GateType
 from repro.netlist.netlist import Gate, Netlist
 from repro.sat.cnf import Cnf
@@ -34,8 +35,17 @@ from repro.sat.cnf import Cnf
 # ----------------------------------------------------------------------
 def encode_gate_clauses(cnf: Cnf, gate: Gate, out: int, ins: list[int]) -> None:
     """Append the clause set for ``out <-> gate(ins)`` to ``cnf``."""
+    encode_gate_type(cnf, gate.gtype, out, ins)
+
+
+def encode_gate_type(cnf: Cnf, gtype: GateType, out: int, ins: list[int]) -> None:
+    """Append the clause set for ``out <-> gtype(ins)`` to ``cnf``.
+
+    Shared by the gate-object walk and the array-IR compile (which
+    dispatches on :data:`repro.ir.GT_CODE` codes); clause order is part
+    of the template contract -- both compiles emit identical encodings.
+    """
     add = cnf.add_clause
-    gtype = gate.gtype
     if gtype is GateType.AND:
         for x in ins:
             add([-out, x])
@@ -156,6 +166,8 @@ def compile_encoding(netlist: Netlist) -> NetlistEncoding:
             "cannot Tseitin-encode a sequential netlist; "
             "build a combinational model first"
         )
+    if _ir_enabled():
+        return _compile_encoding_ir(netlist)
     cnf = Cnf()
     net_local: dict[str, int] = {}
 
@@ -174,6 +186,55 @@ def compile_encoding(netlist: Netlist) -> NetlistEncoding:
         encode_gate_clauses(cnf, gate, out, ins)
     for net in netlist.outputs:
         var_for(net)
+    return NetlistEncoding(
+        name=netlist.name,
+        n_locals=cnf.n_vars,
+        clauses=tuple(cnf.clauses),
+        net_local=net_local,
+        fingerprint=_fingerprint(netlist),
+    )
+
+
+def _compile_encoding_ir(netlist: Netlist) -> NetlistEncoding:
+    """Array-translation compile behind :func:`compile_encoding`.
+
+    Walks the flat IR arrays instead of gate objects: net -> local
+    variable becomes an int-array lookup and clause emission dispatches
+    on small gate-type codes.  Variable numbering (inputs, then per-gate
+    out/operand first use with XOR auxiliaries inline, then outputs) and
+    clause order replicate the gate-object walk exactly, so the two
+    compiles produce equal :class:`NetlistEncoding` objects and every
+    stamped copy downstream is byte-identical.
+    """
+    ir = ir_for(netlist)
+    cnf = Cnf()
+    local = [0] * ir.n_nets
+    assigned: list[int] = []  # net ids in local-variable assignment order
+    new_var = cnf.new_var
+
+    def var_of(nid: int) -> int:
+        var = local[nid]
+        if not var:
+            var = new_var()
+            local[nid] = var
+            assigned.append(nid)
+        return var
+
+    for nid in ir.pi:
+        var_of(nid)
+    gate_type = ir.gate_type.tolist()
+    gate_out = ir.gate_out.tolist()
+    offsets = ir.fanin_offset.tolist()
+    fanin = ir.fanin.tolist()
+    for gi in ir.topological_order().tolist():
+        out = var_of(gate_out[gi])
+        ins = [var_of(fanin[k]) for k in range(offsets[gi], offsets[gi + 1])]
+        encode_gate_type(cnf, GT_LIST[gate_type[gi]], out, ins)
+    for nid in ir.po:
+        var_of(nid)
+
+    names = ir.names
+    net_local = {names[nid]: local[nid] for nid in assigned}
     return NetlistEncoding(
         name=netlist.name,
         n_locals=cnf.n_vars,

@@ -1,7 +1,11 @@
 """Tests for ISCAS-89 .bench parsing and serialisation."""
 
-import pytest
+import random
 
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bench_suite.generator import GeneratorConfig, generate_circuit
 from repro.bench_suite.iscas import S27_BENCH, s27_netlist
 from repro.netlist.bench_io import parse_bench, write_bench
 from repro.netlist.gates import GateType
@@ -53,6 +57,103 @@ class TestParse:
     def test_multi_input_gate(self):
         netlist = parse_bench("INPUT(a)\nINPUT(b)\nINPUT(c)\ny = AND(a, b, c)")
         assert netlist.gates["y"].inputs == ("a", "b", "c")
+
+
+class TestParserHardening:
+    """Messy-but-legal input is tolerated; violations carry line numbers."""
+
+    def test_crlf_line_endings(self):
+        netlist = parse_bench("INPUT(a)\r\nOUTPUT(y)\r\ny = NOT(a)\r\n")
+        assert netlist.inputs == ["a"]
+        assert netlist.outputs == ["y"]
+
+    def test_blank_and_whitespace_lines(self):
+        netlist = parse_bench("\n   \nINPUT(a)\n\t\nOUTPUT(y)\n\ny = BUFF(a)\n\n")
+        assert netlist.outputs == ["y"]
+
+    def test_trailing_comment_on_every_line(self):
+        src = "INPUT(a) # in\nOUTPUT(y)# out\ny = NOT(a)  ## negate\n"
+        netlist = parse_bench(src)
+        assert netlist.gates["y"].gtype == GateType.NOT
+
+    def test_output_before_declaration(self):
+        netlist = parse_bench("INPUT(a)\nOUTPUT(y)\ny = NOT(a)")
+        assert netlist.outputs == ["y"]
+
+    def test_duplicate_output_reports_line(self):
+        src = "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\nOUTPUT(y)\n"
+        with pytest.raises(NetlistError, match=r"line 4:.*already a primary output"):
+            parse_bench(src)
+
+    def test_duplicate_driver_reports_line(self):
+        src = "INPUT(a)\ny = NOT(a)\ny = BUFF(a)\n"
+        with pytest.raises(NetlistError, match=r"line 3:"):
+            parse_bench(src)
+
+    def test_duplicate_input_reports_line(self):
+        with pytest.raises(NetlistError, match=r"line 2:"):
+            parse_bench("INPUT(a)\nINPUT(a)\n")
+
+    def test_bad_arity_reports_line(self):
+        with pytest.raises(NetlistError, match=r"line 2:"):
+            parse_bench("INPUT(a)\ny = NOT(a, a)\n")
+
+    def test_garbage_reports_line(self):
+        with pytest.raises(NetlistError, match=r"line 3:"):
+            parse_bench("INPUT(a)\ny = NOT(a)\nthis is not a gate\n")
+
+    def test_unknown_op_reports_line(self):
+        with pytest.raises(NetlistError, match=r"line 2:.*FROB"):
+            parse_bench("INPUT(a)\ny = FROB(a)\n")
+
+
+class TestRoundTripProperties:
+    @staticmethod
+    def _sampled(seed: int):
+        rng = random.Random(seed)
+        config = GeneratorConfig(
+            n_flops=2 + seed % 5,
+            n_inputs=1 + seed % 4,
+            n_outputs=1 + seed % 3,
+            gates_per_flop=1.0 + (seed % 3),
+            max_fanin=2 + seed % 3,
+        )
+        return generate_circuit(config, rng, name=f"rt{seed}")
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_write_parse_identity(self, seed):
+        original = self._sampled(seed)
+        reparsed = parse_bench(write_bench(original), name=original.name)
+        assert reparsed.inputs == original.inputs
+        assert reparsed.outputs == original.outputs
+        assert list(reparsed.gates) == list(original.gates)
+        for net, gate in original.gates.items():
+            assert reparsed.gates[net].gtype == gate.gtype
+            assert reparsed.gates[net].inputs == gate.inputs
+        assert {q: d.d for q, d in reparsed.dffs.items()} == {
+            q: d.d for q, d in original.dffs.items()
+        }
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_write_is_a_fixed_point(self, seed):
+        original = self._sampled(seed)
+        text = write_bench(original)
+        assert write_bench(parse_bench(text, name=original.name)) == text
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_crlf_and_comments_do_not_change_the_parse(self, seed):
+        original = self._sampled(seed)
+        text = write_bench(original)
+        mangled = "\r\n".join(
+            f"{line} # noise" if line and not line.startswith("#") else line
+            for line in text.split("\n")
+        )
+        clean = parse_bench(text, name="x")
+        messy = parse_bench(mangled, name="x")
+        assert write_bench(clean) == write_bench(messy)
 
 
 class TestRoundTrip:

@@ -12,6 +12,8 @@ reproduction trustworthy:
 
 import random
 
+import pytest
+
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.bench_suite.generator import GeneratorConfig, generate_circuit
@@ -67,6 +69,7 @@ class TestOracleConsistencyProperty:
 class TestModelSoundnessProperty:
     @SLOW_SETTINGS
     @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @pytest.mark.requires_numpy
     def test_model_with_true_seed_equals_oracle(self, seed):
         netlist, lock, rng = build_locked_case(seed)
         oracle = lock.make_oracle()
@@ -86,6 +89,7 @@ class TestModelSoundnessProperty:
 
     @SLOW_SETTINGS
     @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @pytest.mark.requires_numpy
     def test_sat_encoding_of_model_matches_simulation(self, seed):
         """Tseitin(model) under assumptions == direct model evaluation."""
         netlist, lock, rng = build_locked_case(seed)
@@ -110,6 +114,7 @@ class TestModelSoundnessProperty:
 
 
 class TestPipelineDeterminism:
+    @pytest.mark.requires_numpy
     def test_attack_is_reproducible(self):
         netlist, lock, _ = build_locked_case(777)
         result_a = dynunlock(netlist, lock.public_view(), lock.make_oracle())
@@ -123,6 +128,7 @@ class TestPipelineDeterminism:
 class TestOverlayXorStructure:
     @SLOW_SETTINGS
     @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @pytest.mark.requires_numpy
     def test_scan_out_difference_is_pattern_independent(self, seed):
         """For a fixed geometry+seed, (locked XOR clean) scan responses of
         the SAME applied state differ by a constant mask -- linearity of

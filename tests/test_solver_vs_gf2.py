@@ -9,7 +9,9 @@ solution counts.
 
 import random
 
-import numpy as np
+import pytest
+
+np = pytest.importorskip("numpy")  # whole-module skip on the numpy-less leg
 from hypothesis import given, settings, strategies as st
 
 from repro.gf2.matrix import GF2Matrix
