@@ -11,6 +11,12 @@
 #                           fails on any invariant violation and writes
 #                           shrunk repro cases to .fuzz_corpus
 #                           (FUZZ_TRIALS / FUZZ_SEED override the defaults)
+#   make farm             - budgeted rounds of the continuous fuzz farm
+#                           (examples/configs/quick-smoke.toml): coverage
+#                           scheduling + deduplicating corpus under
+#                           .repro_farm; resumes from its checkpoint, so
+#                           repeated invocations keep exploring
+#                           (FARM_CONFIG overrides the profile)
 #   make opt-bench        - optimized vs raw attack pipeline on the quick
 #                           Table II grid (cache-less, both arms); writes
 #                           BENCH_opt.json to $(OPT_BENCH_DIR) and fails
@@ -66,9 +72,9 @@ IR_BENCH_DIR ?= results
 IR_BASELINE = benchmarks/baselines/ir_quick.json
 SERVICE_SMOKE_DIR ?= .service_smoke
 
-.PHONY: verify bench test-all coverage matrix fuzz opt-bench store-bench \
-  ir-bench service-smoke refresh-baseline refresh-store-baseline \
-  refresh-ir-baseline docs lint
+.PHONY: verify bench test-all coverage matrix fuzz farm opt-bench \
+  store-bench ir-bench service-smoke refresh-baseline \
+  refresh-store-baseline refresh-ir-baseline docs lint
 
 verify:
 	$(PYTEST) -x -q
@@ -94,6 +100,13 @@ fuzz:
 	PYTHONPATH=src $(PYTHON) -m repro.cli fuzz --profile quick \
 	  --trials $${FUZZ_TRIALS:-100} --seed $${FUZZ_SEED:-0} \
 	  --jobs $${REPRO_JOBS:-1} --corpus .fuzz_corpus
+
+# Checkpointed: a second `make farm` resumes the same state dir and
+# keeps exploring where the first stopped (delete .repro_farm to reset).
+farm:
+	PYTHONPATH=src $(PYTHON) -m repro.cli farm run \
+	  --config $${FARM_CONFIG:-examples/configs/quick-smoke.toml} \
+	  --jobs $${REPRO_JOBS:-1}
 
 opt-bench:
 	PYTHONPATH=src $(PYTHON) -m repro.cli opt-bench --profile quick \

@@ -262,6 +262,32 @@ def run_fuzz(
     )
 
 
+def run_farm(
+    *,
+    profile: str | ExperimentProfile | None = None,
+    farm_config=None,
+    store: StoreBackend | None = None,
+    progress: ProgressFn | None = None,
+    observer=None,
+):
+    """Run one fuzz-farm invocation; returns the FarmReport.
+
+    ``farm_config`` is a :class:`repro.farm.FarmConfig` (default: one
+    budgetless round).  The farm's state dir owns the corpus, the
+    scheduler state, and the per-round checkpoints; calling this again
+    with the same config resumes where the last invocation stopped.
+    """
+    import repro.farm as farm
+
+    return farm.run_farm(
+        resolve_profile(profile),
+        farm_config if farm_config is not None else farm.FarmConfig(),
+        store=store,
+        progress=progress,
+        observer=observer,
+    )
+
+
 @dataclass
 class AttackRun:
     """One single-benchmark attack: the lock context plus the raw result."""
@@ -347,6 +373,7 @@ __all__ = [
     "grid_specs",
     "resolve_profile",
     "run_attack",
+    "run_farm",
     "run_fuzz",
     "run_grid",
     "run_matrix",

@@ -53,6 +53,21 @@ command accepts ``--metrics-dir DIR`` (per-job spans, a Prometheus
 renders a live ``top(1)``-style view over a running or finished
 instrumented run.  With neither flag, instrumentation is fully off:
 no spans are collected, and results/cache bytes are identical.
+
+Declarative configs (``docs/configs.md``): ``--config FILE`` on
+``fuzz``, ``farm``, ``matrix`` and every grid command resolves flags
+through a checked TOML/JSON profile (explicit CLI flags win; the
+resolved config is stamped into artifact provenance).  ``dynunlock
+config check --strict`` validates profiles, rejecting unknown keys,
+type mismatches and policy-violating values with dotted-path errors.
+
+The continuous fuzz farm (``docs/fuzzing.md``): ``dynunlock farm run
+--budget 10m --config farm.toml`` runs time-budgeted rolling rounds
+that persist a deduplicating corpus plus coverage-scheduler state
+under ``--state`` and checkpoint after every round, so a killed farm
+resumes byte-identically; ``dynunlock farm status`` summarizes a
+state dir, and ``dynunlock fuzz-replay <state>/corpus`` replays the
+farmed corpus as a regression suite.
 """
 
 from __future__ import annotations
@@ -96,7 +111,32 @@ def _profile_from_args(args: argparse.Namespace):
 
 def _jobs_from_args(args: argparse.Namespace) -> int:
     jobs = getattr(args, "jobs", 1)
+    if jobs is None:  # config-covered flag left unresolved
+        jobs = 1
     return max(1, os.cpu_count() or 1) if jobs == 0 else max(1, jobs)
+
+
+def _resolve_config(args: argparse.Namespace, command: str):
+    """Resolve ``--config``-covered flags (CLI > file > default).
+
+    Always runs, file or not, so config-covered flags (argparse default
+    ``None``) pick up their built-in defaults in exactly one place.
+    The provenance block lands on ``args.config_provenance`` for
+    :func:`_emit_artifact` to stamp into artifacts.
+    """
+    from repro.config import ConfigError, apply_config
+
+    try:
+        provenance = apply_config(
+            args,
+            command,
+            warn=lambda message: print(f"  [!] {message}", file=sys.stderr),
+        )
+    except ConfigError as exc:
+        print(f"dynunlock: {exc}", file=sys.stderr)
+        raise SystemExit(2)
+    args.config_provenance = provenance
+    return provenance
 
 
 @contextmanager
@@ -169,6 +209,9 @@ def _emit_artifact(
         "wall_s": report.wall_s,
         "code_version": code_version()[:20],
     }
+    provenance = getattr(args, "config_provenance", None)
+    if provenance is not None:
+        meta["config"] = provenance
     meta.update(extra_meta or {})
     path = write_artifact(
         args.emit_json,
@@ -309,26 +352,31 @@ def cmd_export(args: argparse.Namespace) -> int:
 
 def cmd_table1(args: argparse.Namespace) -> int:
     """``dynunlock table1``: regenerate the defense-evolution table."""
+    _resolve_config(args, "grid")
     return _run_experiment(args, "table1")
 
 
 def cmd_table2(args: argparse.Namespace) -> int:
     """``dynunlock table2``: regenerate the paper's main results table."""
+    _resolve_config(args, "grid")
     return _run_experiment(args, "table2", benchmarks=args.benchmarks or None)
 
 
 def cmd_table3(args: argparse.Namespace) -> int:
     """``dynunlock table3``: regenerate the key-size scaling table."""
+    _resolve_config(args, "grid")
     return _run_experiment(args, "table3", benchmarks=args.benchmarks or None)
 
 
 def cmd_scaling(args: argparse.Namespace) -> int:
     """``dynunlock scaling``: regenerate the Section IV flop-count study."""
+    _resolve_config(args, "grid")
     return _run_experiment(args, "scaling")
 
 
 def cmd_ablation(args: argparse.Namespace) -> int:
     """``dynunlock ablation``: regenerate the Section V nonlinear-PRNG study."""
+    _resolve_config(args, "grid")
     return _run_experiment(args, "ablation")
 
 
@@ -337,6 +385,7 @@ def cmd_matrix(args: argparse.Namespace) -> int:
     from repro.matrix.grid import PAPER_EXPECTATIONS
     from repro.matrix.registry import attack_names, defense_names
 
+    _resolve_config(args, "matrix")
     profile = _profile_from_args(args)
     attacks = args.attacks or None
     defenses = args.defenses or None
@@ -412,6 +461,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     """``dynunlock fuzz``: run a seeded differential-fuzzing campaign."""
     from repro.fuzz.campaign import FUZZ_HEADERS, campaign_rows
 
+    _resolve_config(args, "fuzz")
     profile = _profile_from_args(args)
     with _observation(args, "fuzz") as observer:
         report = api.run_fuzz(
@@ -484,7 +534,13 @@ class _FuzzArtifactReport:
 
 
 def cmd_fuzz_replay(args: argparse.Namespace) -> int:
-    """``dynunlock fuzz-replay``: re-demonstrate every crash-corpus entry."""
+    """``dynunlock fuzz-replay``: re-demonstrate every crash-corpus entry.
+
+    Exit codes (pinned by tests): 0 -- every replayable entry still
+    reproduces (or the corpus is empty); 1 -- at least one entry no
+    longer reproduces (the stale files are listed); 2 -- the corpus
+    directory is damaged (unreadable or malformed entries).
+    """
     from repro.fuzz.corpus import CorpusError, load_corpus, replay_entry
 
     try:
@@ -496,28 +552,220 @@ def cmd_fuzz_replay(args: argparse.Namespace) -> int:
         print(f"corpus {args.corpus} is empty; nothing to replay")
         return 0
     profile = PROFILES[args.profile] if args.profile else None
-    stale = 0
+    reproduced_count = skipped = 0
+    stale_paths: list[str] = []
     for path, entry in entries:
         reproduced = replay_entry(entry, profile)
         if reproduced is None:
             status = "SKIP (needs a pool/store to reproduce)"
+            skipped += 1
         elif reproduced:
             status = "reproduced"
+            reproduced_count += 1
         else:
             status = "NO LONGER REPRODUCES"
-            stale += 1
+            stale_paths.append(str(path))
         print(f"{path}: {entry.invariant} ... {status}")
         if args.verbose:
             print(f"    detail : {entry.detail}")
             print(f"    trial  : {entry.trial}")
-    if stale:
+    print(
+        f"  [=] {len(entries)} entr{'y' if len(entries) == 1 else 'ies'}: "
+        f"{reproduced_count} reproduced, {len(stale_paths)} stale, "
+        f"{skipped} skipped"
+    )
+    if stale_paths:
+        stale = len(stale_paths)
         print(
             f"  [!] {stale} entr{'y' if stale == 1 else 'ies'} no longer "
             "reproduce -- the bug is fixed; delete the file(s) to retire "
-            "them",
+            "them:",
             file=sys.stderr,
         )
+        for path in stale_paths:
+            print(f"  [!]   {path}", file=sys.stderr)
         return 1
+    return 0
+
+
+FARM_HEADERS = ["Attack", "Defense", "Bucket", "Trials", "Violations", "Hot"]
+
+
+def cmd_farm_run(args: argparse.Namespace) -> int:
+    """``dynunlock farm run``: rolling, checkpointed fuzz-farm rounds.
+
+    Exit codes: 0 -- this invocation's rounds found no violations;
+    1 -- at least one violation (reproducers are in the corpus);
+    2 -- usage/state errors (bad config, mismatched state dir).
+    """
+    from repro.farm import FarmConfig, FarmDriver
+    from repro.farm.driver import FarmStateError
+
+    _resolve_config(args, "farm")
+    profile = _profile_from_args(args)
+    config = FarmConfig(
+        seed=args.seed,
+        round_trials=args.round_trials,
+        max_rounds=args.max_rounds,
+        budget_s=args.budget,
+        concurrency=_jobs_from_args(args),
+        state_dir=args.state,
+        bias=args.bias,
+        stability_every=args.stability_every,
+        shrink_limit=args.shrink_limit,
+        opt_level=args.opt_level,
+        attacks=args.attacks or None,
+        defenses=args.defenses or None,
+    )
+
+    # SIGTERM (a CI timeout, a container stop) must behave like C-c:
+    # the torn round is abandoned and the last checkpoint stands, so
+    # the next invocation resumes byte-identically.
+    import signal
+
+    def _terminate(signum, frame):
+        raise KeyboardInterrupt
+
+    previous = signal.signal(signal.SIGTERM, _terminate)
+    try:
+        with _observation(args, "farm") as observer:
+            try:
+                driver = FarmDriver(
+                    profile,
+                    config,
+                    store=_store_from_args(args),
+                    observer=observer,
+                    progress=_progress,
+                )
+            except FarmStateError as exc:
+                print(f"dynunlock: {exc}", file=sys.stderr)
+                return 2
+            report = driver.run()
+            rows = [
+                [*key.split("|"), int(stat["trials"]), int(stat["violations"]),
+                 f"{stat['hot']:.2f}"]
+                for key, stat in sorted(driver.scheduler.stats.items())
+                if stat["trials"] > 0
+            ]
+            title = (
+                f"Fuzz farm (seed={config.seed}, profile={profile.name}, "
+                f"round {report.total_rounds})"
+            )
+            print(render_table(FARM_HEADERS, rows, title=title))
+            print(f"  [=] {report.summary()}", file=sys.stderr)
+            if args.emit_json:
+                covered, total = report.coverage
+                meta = {
+                    "seed": config.seed,
+                    "rounds_this_run": len(report.rounds),
+                    "trials_this_run": report.trials_this_run,
+                    "violations_this_run": report.violations_this_run,
+                    "total_rounds": report.total_rounds,
+                    "total_trials": report.total_trials,
+                    "total_violations": report.total_violations,
+                    "corpus": report.corpus_stats,
+                    "cells_covered": covered,
+                    "n_cells": total,
+                    "stopped": report.stopped,
+                    "wall_s": report.wall_s,
+                    "trials_per_s": (
+                        report.trials_this_run / report.wall_s
+                        if report.wall_s > 0
+                        else 0.0
+                    ),
+                    "state_dir": str(config.state_dir),
+                    "code_version": code_version()[:20],
+                }
+                provenance = getattr(args, "config_provenance", None)
+                if provenance is not None:
+                    meta["config"] = provenance
+                path = write_artifact(
+                    args.emit_json,
+                    "farm",
+                    FARM_HEADERS,
+                    rows,
+                    title=title,
+                    profile=profile.name,
+                    meta=meta,
+                )
+                print(f"  [=] wrote {path}", file=sys.stderr)
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+    return 1 if report.violations_this_run else 0
+
+
+def cmd_farm_status(args: argparse.Namespace) -> int:
+    """``dynunlock farm status``: summarize a farm state directory."""
+    import json as json_mod
+
+    from repro.farm.driver import load_status
+
+    status = load_status(args.state)
+    if args.json:
+        print(json_mod.dumps(status, indent=1, sort_keys=True))
+        return 0 if status["exists"] else 1
+    if not status["exists"]:
+        print(f"no farm state at {args.state}")
+        return 1
+    totals = status.get("totals", {})
+    corpus = status.get("corpus", {})
+    print(f"state dir    : {status['state_dir']}")
+    print(f"seed         : {status['seed']}")
+    print(f"rounds       : {status['rounds']}")
+    print(f"trials       : {totals.get('trials', 0)}")
+    print(f"violations   : {totals.get('violations', 0)}")
+    print(
+        f"coverage     : {status['cells_covered']}/{status['n_cells']} cells"
+    )
+    print(
+        f"corpus       : {corpus.get('entries', 0)} entries "
+        f"{json_mod.dumps(corpus.get('by_kind', {}), sort_keys=True)}"
+    )
+    for key, trials, violations in status.get("hot_cells", []):
+        print(f"  cell {key}: {trials} trials, {violations} violations")
+    return 0
+
+
+def cmd_config_check(args: argparse.Namespace) -> int:
+    """``dynunlock config check``: validate config profiles.
+
+    Exit codes: 0 -- every file is valid; 1 -- at least one issue
+    (each printed as ``file: dotted.path: message``).
+    """
+    from repro.config import ConfigError, check_config, load_config_file
+
+    failed = False
+    for path in args.files:
+        try:
+            data = load_config_file(path)
+        except ConfigError as exc:
+            for issue in exc.issues:
+                print(f"{path}: {issue}")
+            failed = True
+            continue
+        values, issues = check_config(data, strict=args.strict)
+        if issues:
+            for issue in issues:
+                print(f"{path}: {issue}")
+            failed = True
+        else:
+            print(f"{path}: OK ({len(values)} value(s))")
+    return 1 if failed else 0
+
+
+def cmd_config_show(args: argparse.Namespace) -> int:
+    """``dynunlock config show``: print a profile's resolved values."""
+    import json as json_mod
+
+    from repro.config import ConfigError, load_and_check
+
+    try:
+        resolved = load_and_check(args.file, strict=False)
+    except ConfigError as exc:
+        for issue in exc.issues:
+            print(f"{args.file}: {issue}", file=sys.stderr)
+        return 1
+    print(json_mod.dumps(resolved.values, indent=1, sort_keys=True))
     return 0
 
 
@@ -963,6 +1211,7 @@ def cmd_store_bench(args: argparse.Namespace) -> int:
 
 def cmd_run(args: argparse.Namespace) -> int:
     """``dynunlock run``: push one or more experiment grids through the runner."""
+    _resolve_config(args, "grid")
     names = list(GRID) if "all" in args.experiments else args.experiments
     seen: list[str] = []
     for name in names:
@@ -1131,16 +1380,27 @@ def build_parser() -> argparse.ArgumentParser:
             help="disable netlist optimization (same as --opt-level 0)",
         )
 
-    def add_runner(p: argparse.ArgumentParser) -> None:
+    def add_config(p: argparse.ArgumentParser) -> None:
+        # Config-covered flags use a None/[] argparse default so
+        # explicit-vs-absent stays detectable; repro.config fills in
+        # (file value > built-in default) for everything not given.
         p.add_argument(
-            "-j", "--jobs", type=int, default=1, metavar="N",
+            "--config", default=None, metavar="FILE",
+            help="resolve flags through a TOML/JSON config profile "
+                 "(explicit flags win; see docs/configs.md)",
+        )
+
+    def add_runner(p: argparse.ArgumentParser) -> None:
+        add_config(p)
+        p.add_argument(
+            "-j", "--jobs", type=int, default=None, metavar="N",
             help="worker processes for the experiment grid "
-                 "(1 = serial, 0 = one per CPU core)",
+                 "(default 1 = serial, 0 = one per CPU core)",
         )
         p.add_argument(
-            "--resume", action=argparse.BooleanOptionalAction, default=True,
+            "--resume", action=argparse.BooleanOptionalAction, default=None,
             help="reuse cached cells from --cache-dir and store new ones "
-                 "(--no-resume recomputes everything)",
+                 "(default: on; --no-resume recomputes everything)",
         )
         p.add_argument(
             "--cache-dir", default=None, metavar="DIR",
@@ -1324,12 +1584,13 @@ def build_parser() -> argparse.ArgumentParser:
         "fuzz", help="run a seeded differential-fuzzing campaign"
     )
     p.add_argument(
-        "--trials", type=int, default=100, metavar="N",
+        "--trials", type=int, default=None, metavar="N",
         help="number of sampled trials in the campaign (default 100)",
     )
     p.add_argument(
-        "--seed", type=int, default=0, metavar="S",
-        help="campaign seed; same seed + trials => identical campaign",
+        "--seed", type=int, default=None, metavar="S",
+        help="campaign seed; same seed + trials => identical campaign "
+             "(default 0)",
     )
     p.add_argument(
         "--time-budget", type=float, default=None, metavar="SECONDS",
@@ -1341,7 +1602,7 @@ def build_parser() -> argparse.ArgumentParser:
              "omit to skip corpus persistence",
     )
     p.add_argument(
-        "--shrink-limit", type=int, default=8, metavar="N",
+        "--shrink-limit", type=int, default=None, metavar="N",
         help="minimize at most N violations (default 8)",
     )
     add_profile(p)
@@ -1351,7 +1612,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_fuzz)
 
     p = sub.add_parser(
-        "fuzz-replay", help="re-demonstrate every crash-corpus entry"
+        "fuzz-replay",
+        help="re-demonstrate every crash-corpus entry",
+        description="Replay a crash corpus (flat fuzz corpus or a farm's "
+                    "<state>/corpus). Exit 0: every replayable entry still "
+                    "reproduces (or the corpus is empty); exit 1: at least "
+                    "one entry no longer reproduces; exit 2: the corpus is "
+                    "damaged.",
     )
     p.add_argument(
         "corpus", nargs="?", default=".fuzz_corpus",
@@ -1366,6 +1633,106 @@ def build_parser() -> argparse.ArgumentParser:
         help="print each entry's detail and trial params",
     )
     p.set_defaults(func=cmd_fuzz_replay)
+
+    def _duration(text: str) -> float:
+        from repro.config import parse_duration
+
+        try:
+            return parse_duration(text)
+        except ValueError as exc:
+            raise argparse.ArgumentTypeError(str(exc))
+
+    p = sub.add_parser(
+        "farm", help="continuous fuzz farm (rolling, resumable rounds)"
+    )
+    farm_sub = p.add_subparsers(dest="farm_command", required=True)
+
+    fp = farm_sub.add_parser(
+        "run",
+        help="run budgeted farm rounds against a state directory",
+        description="Run coverage-scheduled fuzz rounds, persisting a "
+                    "deduplicating corpus and checkpointing state after "
+                    "every round (a killed run resumes byte-identically). "
+                    "Exit 0: no violations this run; 1: violations found; "
+                    "2: usage/state error.",
+    )
+    fp.add_argument(
+        "--state", default=None, metavar="DIR",
+        help="farm state directory: corpus + journal + checkpoint "
+             "(default .repro_farm)",
+    )
+    fp.add_argument(
+        "--budget", type=_duration, default=None, metavar="DURATION",
+        help="wall-clock budget for this invocation, e.g. 90, 10m, 1h30m "
+             "(stops starting new rounds past it)",
+    )
+    fp.add_argument(
+        "--max-rounds", type=int, default=None, metavar="N",
+        help="stop once the farm's lifetime round count reaches N "
+             "(deterministic budget; default 0 = unbounded)",
+    )
+    fp.add_argument(
+        "--round-trials", type=int, default=None, metavar="N",
+        help="trials per round (default 24)",
+    )
+    fp.add_argument(
+        "--seed", type=int, default=None, metavar="S",
+        help="farm seed; must match the state directory's (default 0)",
+    )
+    fp.add_argument(
+        "--attacks", nargs="*", default=[],
+        help="restrict scheduling to these registered attacks",
+    )
+    fp.add_argument(
+        "--defenses", nargs="*", default=[],
+        help="restrict scheduling to these registered defenses",
+    )
+    add_profile(fp)
+    add_runner(fp)
+    add_opt(fp)
+    add_obs(fp)
+    fp.set_defaults(func=cmd_farm_run)
+
+    fp = farm_sub.add_parser(
+        "status", help="summarize a farm state directory"
+    )
+    fp.add_argument(
+        "state", nargs="?", default=".repro_farm",
+        help="farm state directory (default .repro_farm)",
+    )
+    fp.add_argument(
+        "--json", action="store_true",
+        help="emit the status block as JSON",
+    )
+    fp.set_defaults(func=cmd_farm_status)
+
+    p = sub.add_parser(
+        "config", help="validate and inspect experiment config profiles"
+    )
+    config_sub = p.add_subparsers(dest="config_command", required=True)
+
+    cfp = config_sub.add_parser(
+        "check",
+        help="validate config profiles against the schema",
+        description="Validate TOML/JSON config profiles. Every problem "
+                    "is reported with its dotted key path (e.g. "
+                    "fuzz.concurrency). Exit 0: all valid; 1: any issue.",
+    )
+    cfp.add_argument(
+        "files", nargs="+", metavar="FILE",
+        help="config profile(s) to validate",
+    )
+    cfp.add_argument(
+        "--strict", action="store_true",
+        help="also reject unknown keys and sections",
+    )
+    cfp.set_defaults(func=cmd_config_check)
+
+    cfp = config_sub.add_parser(
+        "show", help="print a profile's validated values as JSON"
+    )
+    cfp.add_argument("file", help="config profile to show")
+    cfp.set_defaults(func=cmd_config_show)
 
     p = sub.add_parser(
         "cache", help="inspect and manage the result store"

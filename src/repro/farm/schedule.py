@@ -1,0 +1,261 @@
+"""Coverage-style trial scheduling for the fuzz farm.
+
+The one-shot campaign samples its (attack, defense) pair uniformly
+(:func:`~repro.matrix.registry.sample_applicable_pair`); a farm can do
+better because it remembers.  The scheduler's unit of coverage is a
+*cell*: one applicable (attack, defense) pair at one circuit-shape
+bucket (small/medium/large flop count).  Per cell it tracks trial and
+violation counts plus a decaying "hot" score, and draws the next trial
+from a weighted distribution::
+
+    weight(cell) = (1 + bias * hot) * (1 + explore / (1 + trials))
+
+so cells that recently produced violations are revisited (exploit) and
+cells with few trials keep a floor of attention (explore); a cell never
+reaches weight zero, so coverage is preserved.
+
+Determinism: a round's trials are all planned up front from the frozen
+round-start weights, every draw comes from one ``hash_label`` stream,
+and outcome accounting is applied only between rounds -- so the whole
+schedule is a pure function of (seed, completed rounds), which is what
+makes checkpoint/resume byte-identical.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any
+
+from repro.bench_suite.generator import (
+    SAMPLE_FANIN_RANGE,
+    SAMPLE_GATES_PER_FLOP,
+    SAMPLE_INPUT_RANGE,
+    SAMPLE_LOCALITY,
+    SAMPLE_OUTPUT_RANGE,
+    GeneratorConfig,
+    config_to_dict,
+)
+from repro.util.rng import hash_label
+
+#: Shape buckets partition the generator's flop range (3..14).
+SHAPE_BUCKETS = ("small", "medium", "large")
+BUCKET_FLOP_RANGES = {
+    "small": (3, 6),
+    "medium": (7, 10),
+    "large": (11, 14),
+}
+
+#: Per-round multiplier on every cell's hot score: a violation keeps a
+#: cell hot for a few rounds, then exploration pressure takes over.
+HOT_DECAY = 0.5
+
+
+def shape_bucket(n_flops: int) -> str:
+    """Map a flop count to its coverage bucket."""
+    for name, (lo, hi) in BUCKET_FLOP_RANGES.items():
+        if lo <= n_flops <= hi:
+            return name
+    return "large" if n_flops > BUCKET_FLOP_RANGES["large"][1] else "small"
+
+
+def cell_key(attack: str, defense: str, bucket: str) -> str:
+    """The canonical ``attack|defense|bucket`` label for one cell."""
+    return f"{attack}|{defense}|{bucket}"
+
+
+def sample_config_in_bucket(
+    rng: random.Random, bucket: str
+) -> GeneratorConfig:
+    """Like ``sample_config`` but with ``n_flops`` pinned to a bucket.
+
+    Same fixed draw order as the campaign sampler, so one rng state
+    still maps to exactly one shape.
+    """
+    lo, hi = BUCKET_FLOP_RANGES[bucket]
+    return GeneratorConfig(
+        n_flops=rng.randint(lo, hi),
+        n_inputs=rng.randint(*SAMPLE_INPUT_RANGE),
+        n_outputs=rng.randint(*SAMPLE_OUTPUT_RANGE),
+        gates_per_flop=rng.choice(SAMPLE_GATES_PER_FLOP),
+        max_fanin=rng.randint(*SAMPLE_FANIN_RANGE),
+        locality=rng.choice(SAMPLE_LOCALITY),
+    )
+
+
+class FarmScheduler:
+    """Weighted cell sampler with explicit, serializable state."""
+
+    def __init__(
+        self,
+        pairs: list[tuple[str, str]],
+        *,
+        bias: float = 4.0,
+        explore: float = 1.0,
+        decay: float = HOT_DECAY,
+    ):
+        self.pairs = [(str(a), str(d)) for a, d in pairs]
+        self.bias = float(bias)
+        self.explore = float(explore)
+        self.decay = float(decay)
+        self.cells: list[tuple[str, str, str]] = [
+            (attack, defense, bucket)
+            for attack, defense in self.pairs
+            for bucket in SHAPE_BUCKETS
+        ]
+        self.stats: dict[str, dict[str, float]] = {
+            cell_key(*cell): {"trials": 0, "violations": 0, "hot": 0.0}
+            for cell in self.cells
+        }
+        self.seen_shapes: set[str] = set()
+
+    # -- sampling ---------------------------------------------------------
+
+    def weights(self) -> list[float]:
+        out = []
+        for cell in self.cells:
+            stat = self.stats[cell_key(*cell)]
+            exploit = 1.0 + self.bias * stat["hot"]
+            explore = 1.0 + self.explore / (1.0 + stat["trials"])
+            out.append(exploit * explore)
+        return out
+
+    def sample_cell(
+        self, rng: random.Random, weights: list[float] | None = None
+    ) -> tuple[str, str, str]:
+        """One weighted draw; pass frozen ``weights`` for a whole round."""
+        weights = self.weights() if weights is None else weights
+        return rng.choices(self.cells, weights=weights, k=1)[0]
+
+    def plan_round(
+        self,
+        seed: int,
+        round_index: int,
+        n_trials: int,
+        opt_level: int | None = None,
+    ) -> list[dict[str, Any]]:
+        """Sample a whole round of trial params from frozen weights.
+
+        The params dict is the same flat JSON-safe shape the campaign's
+        ``sample_trial_params`` produces (so trials run as ordinary
+        ``"fuzz"`` JobSpecs and replay through the same machinery),
+        plus a ``farm cell`` recoverable from the shape.
+        """
+        from repro.fuzz.campaign import FUZZ_MAX_KEY_BITS
+        from repro.matrix.registry import get_defense
+        from repro.opt import resolve_level
+
+        frozen = self.weights()
+        params_list = []
+        for index in range(n_trials):
+            label = f"farm/round/{round_index}/trial/{index}"
+            rng = random.Random(hash_label(seed, label))
+            attack, defense, bucket = self.sample_cell(rng, frozen)
+            config = sample_config_in_bucket(rng, bucket)
+            cap = get_defense(defense).default_key_bits or FUZZ_MAX_KEY_BITS
+            cap = max(1, min(cap, FUZZ_MAX_KEY_BITS, config.n_flops - 1))
+            key_bits = rng.randint(1, cap)
+            params_list.append(
+                {
+                    "attack": attack,
+                    "defense": defense,
+                    "key_bits": key_bits,
+                    "opt_level": resolve_level(opt_level),
+                    "trial_seed": hash_label(
+                        seed, f"farm/round/{round_index}/circuit/{index}"
+                    ),
+                    **config_to_dict(config),
+                }
+            )
+        return params_list
+
+    # -- accounting -------------------------------------------------------
+
+    def begin_round(self) -> None:
+        """Decay every hot score; call once at the top of each round."""
+        for stat in self.stats.values():
+            stat["hot"] *= self.decay
+
+    def record_trial(self, trial: dict[str, Any], violations: int) -> None:
+        """Account one finished trial to its cell."""
+        key = cell_key(
+            str(trial.get("attack", "?")),
+            str(trial.get("defense", "?")),
+            shape_bucket(int(trial.get("n_flops", 0))),
+        )
+        stat = self.stats.get(key)
+        if stat is None:  # a cell outside the configured pair filter
+            stat = self.stats.setdefault(
+                key, {"trials": 0, "violations": 0, "hot": 0.0}
+            )
+        stat["trials"] += 1
+        if violations:
+            stat["violations"] += violations
+            stat["hot"] += float(violations)
+
+    def novel_shape(self, trial: dict[str, Any]) -> str | None:
+        """The shape signature on first sighting (records it), else None."""
+        signature = (
+            f"{shape_bucket(int(trial.get('n_flops', 0)))}"
+            f"|gpf{trial.get('gates_per_flop')}"
+            f"|fanin{trial.get('max_fanin')}"
+            f"|loc{trial.get('locality')}"
+        )
+        if signature in self.seen_shapes:
+            return None
+        self.seen_shapes.add(signature)
+        return signature
+
+    def coverage(self) -> tuple[int, int]:
+        """(cells sampled at least once, total cells)."""
+        covered = sum(
+            1 for stat in self.stats.values() if stat["trials"] > 0
+        )
+        return covered, len(self.stats)
+
+    def hot_cells(self, limit: int = 5) -> list[tuple[str, dict[str, float]]]:
+        """The most-sampled cells, violations first."""
+        ranked = sorted(
+            self.stats.items(),
+            key=lambda item: (
+                -item[1]["violations"],
+                -item[1]["trials"],
+                item[0],
+            ),
+        )
+        return [(key, dict(stat)) for key, stat in ranked[:limit]]
+
+    # -- persistence ------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "pairs": [list(pair) for pair in self.pairs],
+            "bias": self.bias,
+            "explore": self.explore,
+            "decay": self.decay,
+            "stats": {
+                key: {
+                    "trials": int(stat["trials"]),
+                    "violations": int(stat["violations"]),
+                    "hot": stat["hot"],
+                }
+                for key, stat in sorted(self.stats.items())
+            },
+            "seen_shapes": sorted(self.seen_shapes),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "FarmScheduler":
+        scheduler = cls(
+            [tuple(pair) for pair in data["pairs"]],
+            bias=data.get("bias", 4.0),
+            explore=data.get("explore", 1.0),
+            decay=data.get("decay", HOT_DECAY),
+        )
+        for key, stat in data.get("stats", {}).items():
+            scheduler.stats[key] = {
+                "trials": int(stat.get("trials", 0)),
+                "violations": int(stat.get("violations", 0)),
+                "hot": float(stat.get("hot", 0.0)),
+            }
+        scheduler.seen_shapes = set(data.get("seen_shapes", []))
+        return scheduler

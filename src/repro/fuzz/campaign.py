@@ -378,15 +378,15 @@ def run_campaign(
         cursor += len(chunk)
     report.n_not_run = len(specs) - len(report.outcomes)
 
-    _collect_violations(report, stability_every, say)
-    _shrink_and_persist(
+    collect_violations(report, stability_every, say)
+    shrink_and_persist(
         report, profile, corpus_dir, shrink_limit, shrink_evals, say
     )
     report.wall_s = time.perf_counter() - started
     return report
 
 
-def _collect_violations(
+def collect_violations(
     report: CampaignReport,
     stability_every: int,
     say: ProgressFn,
@@ -485,16 +485,31 @@ def _collect_violations(
                 say(f"cache mismatch on trial {outcome.index}")
 
 
-def _shrink_and_persist(
+def shrink_and_persist(
     report: CampaignReport,
     profile,
     corpus_dir: str | None,
     shrink_limit: int,
     shrink_evals: int,
     say: ProgressFn,
+    sink: Callable[[CrashEntry], str | None] | None = None,
 ) -> None:
-    """Minimize violations and write the crash corpus."""
+    """Minimize violations and persist them.
+
+    The default destination is the flat crash corpus under
+    ``corpus_dir`` (:func:`repro.fuzz.corpus.write_entry`); callers
+    with their own store -- the farm's deduplicating
+    :class:`~repro.farm.corpus.FarmCorpus` -- pass ``sink``, a
+    callable from entry to the path written (or ``None`` when the
+    entry was dropped, e.g. as a duplicate).
+    """
     from repro.reports.profiles import profile_to_dict
+
+    if sink is None and corpus_dir is not None:
+        directory = corpus_dir
+
+        def sink(entry: CrashEntry) -> str | None:
+            return str(write_entry(directory, entry))
 
     # One trial can violate the same invariant in several ways (e.g. a
     # missing verified bit AND a diverging key); those share a corpus
@@ -519,7 +534,7 @@ def _shrink_and_persist(
         for violation in group:
             violation["shrunk_trial"] = shrunk
             violation["shrink_evals"] = evals
-        if corpus_dir is not None:
+        if sink is not None:
             entry = CrashEntry(
                 invariant=invariant,
                 detail="; ".join(v["detail"] for v in group),
@@ -529,7 +544,9 @@ def _shrink_and_persist(
                 shrink_evals=evals,
                 meta={"campaign_seed": report.seed, "index": index},
             )
-            path = write_entry(corpus_dir, entry)
+            path = sink(entry)
+            if path is None:
+                continue
             for violation in group:
                 violation["corpus_path"] = str(path)
             report.corpus_paths.append(str(path))

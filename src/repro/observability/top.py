@@ -32,6 +32,7 @@ class RunSnapshot:
     run: dict = field(default_factory=dict)
     spans: list[dict] = field(default_factory=list)
     submitted: dict[int, dict] = field(default_factory=dict)
+    farm_rounds: list[dict] = field(default_factory=list)
 
     @property
     def running(self) -> list[dict]:
@@ -68,6 +69,8 @@ def load_snapshot(metrics_dir: str | Path) -> RunSnapshot:
                 snapshot.spans.append(record)
             elif kind == "submitted":
                 snapshot.submitted[record.get("job_id", -1)] = record
+            elif kind == "farm_round":
+                snapshot.farm_rounds.append(record)
     return snapshot
 
 
@@ -106,6 +109,27 @@ def render_top(
         f"jobs: {n_done} done ({n_cached} cached, {n_failed} failed), "
         f"{len(running)} running"
     )
+    if snapshot.farm_rounds:
+        latest = snapshot.farm_rounds[-1]
+        lines.append(
+            f"farm: round {latest.get('round', 0) + 1} done, "
+            f"{latest.get('trials_total', 0)} trials, "
+            f"{latest.get('violations_total', 0)} violation(s), "
+            f"corpus {latest.get('corpus_entries', 0)}, "
+            f"cells {latest.get('cells_covered', 0)}"
+            f"/{latest.get('n_cells', 0)}, "
+            f"{float(latest.get('trials_per_s', 0.0)):.1f} trials/s"
+        )
+        hot = latest.get("hot_cells") or []
+        for cell in hot[:3]:
+            try:
+                key, trials, violations = cell
+            except (TypeError, ValueError):
+                continue
+            lines.append(
+                f"  hot cell {key}: {trials} trials, "
+                f"{violations} violation(s)"
+            )
     if snapshot.spans:
         headers, rows = aggregate_spans(snapshot.spans)
         lines.append("")

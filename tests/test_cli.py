@@ -76,7 +76,15 @@ class TestRunnerSurfaces:
     """The --jobs/--resume/--emit-json flags and the `run` subcommand."""
 
     def test_runner_flags_parse_with_defaults(self):
+        # Parse leaves runner flags as None sentinels so config-file
+        # resolution can tell "unset" from an explicit flag; applying
+        # the (empty) config fills in the built-in defaults.
+        from repro.config import apply_config
+
         args = build_parser().parse_args(["table2", "s5378"])
+        assert args.jobs is None
+        assert args.resume is None
+        apply_config(args, "grid")
         assert args.jobs == 1
         assert args.resume is True
         assert args.cache_dir is None
@@ -120,10 +128,14 @@ class TestMatrixCommand:
     """The `dynunlock matrix` surface (grid filters + paper check)."""
 
     def test_matrix_flags_parse_with_defaults(self):
+        from repro.config import apply_config
+
         args = build_parser().parse_args(["matrix"])
         assert args.attacks == [] and args.defenses == []
         assert args.benchmarks == []
         assert args.check_paper is True
+        assert args.jobs is None and args.resume is None
+        apply_config(args, "matrix")
         assert args.jobs == 1 and args.resume is True
 
     def test_no_check_paper_flag(self):
@@ -161,7 +173,11 @@ class TestMatrixCommand:
 
 class TestFuzzCommand:
     def test_parser_defaults(self):
+        from repro.config import apply_config
+
         args = build_parser().parse_args(["fuzz"])
+        assert args.trials is None and args.seed is None
+        apply_config(args, "fuzz")
         assert args.trials == 100 and args.seed == 0
         assert args.time_budget is None and args.corpus is None
         replay = build_parser().parse_args(["fuzz-replay"])
